@@ -1,0 +1,54 @@
+"""Bench: Fig. 10 — the cost of the decision procedure itself."""
+
+from conftest import emit
+
+from repro.experiments.fig10_search_cost import level_durations, run_fig10
+from repro.experiments.report import format_table, paper_vs_measured
+
+
+def test_fig10_search_cost(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    checks = result.checks()
+    peaks = result.peak_durations()
+    utilities = result.utilities()
+    power_pct = result.search_power_pct()
+
+    text = paper_vs_measured(
+        [
+            (
+                "search power over idle",
+                "up to ~12%",
+                f"up to {max(pct for _, pct in power_pct):.1f}%"
+                if power_pct
+                else "n/a",
+            ),
+            (
+                "peak search duration (naive)",
+                "~24 s",
+                f"{peaks['naive']:.1f} s",
+            ),
+            (
+                "peak search duration (self-aware)",
+                "~5.5 s",
+                f"{peaks['self-aware']:.1f} s",
+            ),
+            (
+                "cumulative utility (self-aware)",
+                152.3,
+                round(utilities["self-aware"], 1),
+            ),
+            ("cumulative utility (naive)", 135.3, round(utilities["naive"], 1)),
+        ],
+        title="Fig. 10: cost of search",
+    )
+    text += "\n" + format_table(
+        level_durations(result), title="mean decision durations per level"
+    )
+    text += "\nchecks: " + ", ".join(
+        f"{name}={value}" for name, value in checks.items()
+    )
+    emit("fig10_search_cost", text)
+
+    assert checks["naive_searches_longer"], peaks
+    assert checks["self_aware_better_utility"], utilities
+    assert checks["search_power_bounded"]

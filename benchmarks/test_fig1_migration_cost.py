@@ -1,0 +1,46 @@
+"""Bench: Fig. 1 — cost of a single VM live migration."""
+
+from conftest import emit
+
+from repro.experiments.fig1_migration_cost import SESSION_LEVELS, run_fig1
+from repro.experiments.report import format_table, paper_vs_measured
+
+
+def test_fig1_migration_cost(benchmark):
+    traces = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    rows = []
+    for sessions in SESSION_LEVELS:
+        trace = traces[sessions]
+        rows.append(
+            {
+                "sessions": sessions,
+                "migration_s": round(trace.migration_seconds, 1),
+                "peak_dWatt_pct": round(trace.peak_power_delta(), 1),
+                "peak_dRT_pct": round(trace.peak_rt_delta(), 0),
+            }
+        )
+    text = format_table(rows, title="Fig. 1: live-migration cost by session count")
+    text += "\n\n" + paper_vs_measured(
+        [
+            (
+                "power delta grows with load (paper: ~5-20%)",
+                "monotone",
+                "monotone"
+                if rows[0]["peak_dWatt_pct"] <= rows[-1]["peak_dWatt_pct"]
+                else "NOT monotone",
+            ),
+            (
+                "RT delta grows with load (paper: ~50-300%)",
+                "monotone",
+                "monotone"
+                if rows[0]["peak_dRT_pct"] <= rows[-1]["peak_dRT_pct"]
+                else "NOT monotone",
+            ),
+        ]
+    )
+    emit("fig1_migration_cost", text)
+
+    assert rows[0]["peak_dWatt_pct"] <= rows[-1]["peak_dWatt_pct"]
+    assert rows[0]["peak_dRT_pct"] <= rows[-1]["peak_dRT_pct"]
+    assert all(5.0 <= row["peak_dWatt_pct"] <= 25.0 for row in rows)

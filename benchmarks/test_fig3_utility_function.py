@@ -1,0 +1,22 @@
+"""Bench: Fig. 3 — the performance-utility reward/penalty functions."""
+
+from conftest import emit
+
+from repro.experiments.fig3_utility_function import crossover_checks, run_fig3
+from repro.experiments.report import format_table
+
+
+def test_fig3_utility_function(benchmark):
+    rows = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    checks = crossover_checks(rows)
+
+    text = format_table(
+        rows[:: max(1, len(rows) // 11)],
+        title="Fig. 3: reward/penalty vs request rate",
+    )
+    text += "\nchecks: " + ", ".join(
+        f"{name}={value}" for name, value in checks.items()
+    )
+    emit("fig3_utility_function", text)
+
+    assert all(checks.values()), checks

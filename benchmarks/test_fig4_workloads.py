@@ -1,0 +1,23 @@
+"""Bench: Fig. 4 — the four application workload traces."""
+
+from conftest import emit
+
+from repro.experiments.fig4_workloads import run_fig4, shape_checks
+from repro.experiments.report import format_series
+
+
+def test_fig4_workloads(benchmark):
+    series = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    checks = shape_checks(series)
+
+    lines = [
+        format_series(samples, app_name)
+        for app_name, samples in sorted(series.items())
+    ]
+    lines.append(
+        "checks: "
+        + ", ".join(f"{name}={value}" for name, value in checks.items())
+    )
+    emit("fig4_workloads", "\n".join(lines))
+
+    assert all(checks.values()), checks

@@ -1,0 +1,24 @@
+"""Bench: Fig. 5 — performance/power model accuracy."""
+
+from conftest import emit
+
+from repro.experiments.fig5_model_accuracy import run_fig5
+from repro.experiments.report import paper_vs_measured
+
+
+def test_fig5_model_accuracy(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    text = paper_vs_measured(
+        [
+            ("response-time error", "~5%", f"{100 * result.rt_error():.1f}%"),
+            ("utilization error", "~5%", f"{100 * result.util_error():.1f}%"),
+            ("power error", "~5%", f"{100 * result.power_error():.1f}%"),
+        ],
+        title="Fig. 5: model accuracy over the flash-crowd window",
+    )
+    emit("fig5_model_accuracy", text)
+
+    assert result.rt_error() < 0.20
+    assert result.util_error() < 0.10
+    assert result.power_error() < 0.10

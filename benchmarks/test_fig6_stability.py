@@ -1,0 +1,33 @@
+"""Bench: Fig. 6 — stability-interval estimation accuracy."""
+
+from conftest import emit
+
+from repro.experiments.fig6_stability import run_fig6
+from repro.experiments.report import format_series, paper_vs_measured
+
+
+def test_fig6_stability(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    series = [
+        (float(index), measured)
+        for index, measured in enumerate(result.measured)
+    ]
+    text = format_series(series, "measured stability intervals (s)")
+    text += "\n" + paper_vs_measured(
+        [
+            (
+                "mean estimation error",
+                "~14%",
+                f"{100 * result.mean_relative_error():.1f}%",
+            ),
+            ("control windows observed", 96, len(result.measured)),
+        ],
+        title="Fig. 6: ARMA stability-interval estimation",
+    )
+    emit("fig6_stability", text)
+
+    # The ARMA filter must clearly beat a degenerate always-minimum
+    # predictor, and track within the same order of magnitude.
+    assert len(result.measured) > 20
+    assert result.mean_relative_error() < 1.0

@@ -1,0 +1,46 @@
+"""Bench: Fig. 7 — measured transient adaptation costs."""
+
+from conftest import emit
+
+from repro.experiments.fig7_adaptation_costs import (
+    monotonicity_checks,
+    power_cycle_costs,
+    run_fig7,
+)
+from repro.experiments.report import format_table, paper_vs_measured
+
+
+def test_fig7_adaptation_costs(benchmark):
+    rows = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    checks = monotonicity_checks(rows)
+    cycles = power_cycle_costs()
+
+    sessions_of_interest = {100, 400, 800}
+    shown = [row for row in rows if row["sessions"] in sessions_of_interest]
+    text = format_table(
+        shown, title="Fig. 7: adaptation costs by workload (cost tables)"
+    )
+    text += "\n" + paper_vs_measured(
+        [
+            ("host start", "~90 s / ~80 W", (
+                f"{cycles['power_on']['duration_s']:.0f} s / "
+                f"{cycles['power_on']['delta_watts']:.0f} W"
+            )),
+            ("host shutdown", "~30 s / ~20 W", (
+                f"{cycles['power_off']['duration_s']:.0f} s / "
+                f"{cycles['power_off']['delta_watts']:.0f} W"
+            )),
+            ("MySQL replica add delay at peak", "~70 s", (
+                f"{max(float(r['delay_ms']) for r in rows if r['action'] == 'Add replica (MySQL)') / 1000:.0f} s"
+            )),
+        ],
+        title="paper §V-B anchors",
+    )
+    text += "\nmonotonicity: " + ", ".join(
+        f"{name}={value}" for name, value in checks.items()
+    )
+    emit("fig7_adaptation_costs", text)
+
+    assert all(checks.values()), checks
+    assert 60 <= cycles["power_on"]["duration_s"] <= 120
+    assert 20 <= cycles["power_off"]["duration_s"] <= 45

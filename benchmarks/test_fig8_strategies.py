@@ -1,0 +1,59 @@
+"""Bench: Fig. 8 — response times and power across the four strategies."""
+
+from conftest import emit
+
+from repro.experiments.fig8_strategies import (
+    power_series,
+    response_time_series,
+    run_fig8,
+    shape_checks,
+)
+from repro.experiments.report import format_series, format_table
+
+
+def test_fig8_strategies(benchmark):
+    comparison = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    checks = shape_checks(comparison)
+    target = comparison.target
+
+    lines = [f"target response time: {target * 1000:.0f} ms", ""]
+    for app_name in ("RUBiS-1", "RUBiS-2"):
+        lines.append(f"--- {app_name} response time (s) ---")
+        for strategy, series in sorted(
+            response_time_series(comparison, app_name).items()
+        ):
+            lines.append(format_series(series, strategy, max_points=10))
+        lines.append("")
+    lines.append("--- total power (W) ---")
+    for strategy, series in sorted(power_series(comparison).items()):
+        lines.append(format_series(series, strategy, max_points=10))
+    lines.append("")
+
+    rows = []
+    for strategy, run in sorted(comparison.runs.items()):
+        rows.append(
+            {
+                "strategy": strategy,
+                "mean_power_W": round(run.mean_power(), 1),
+                "actions": run.action_count(),
+                "viol_RUBiS-1": round(
+                    run.response_times["RUBiS-1"].fraction_above(target), 3
+                ),
+                "viol_RUBiS-2": round(
+                    run.response_times["RUBiS-2"].fraction_above(target), 3
+                ),
+                "mean_hosts": round(run.hosts_powered.mean(), 2),
+            }
+        )
+    lines.append(format_table(rows, title="Fig. 8 summary"))
+    lines.append(
+        "checks: "
+        + ", ".join(f"{name}={value}" for name, value in checks.items())
+    )
+    emit("fig8_strategies", "\n".join(lines))
+
+    assert checks["perf_cost_burns_most_power"]
+    assert checks["perf_cost_best_response_times"]
+    assert checks["perf_pwr_most_adaptations"]
+    assert checks["mistral_power_below_perf_cost"]
+    assert checks["mistral_fewer_actions_than_perf_pwr"]

@@ -1,0 +1,37 @@
+"""Bench: Fig. 9 — cumulative utility of the four strategies."""
+
+from conftest import emit
+
+from repro.experiments.fig9_cumulative_utility import (
+    comparison_rows,
+    cumulative_series,
+    ordering_checks,
+    run_fig9,
+)
+from repro.experiments.report import format_series, format_table
+
+
+def test_fig9_cumulative_utility(benchmark):
+    comparison = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    rows = comparison_rows(comparison)
+    checks = ordering_checks(comparison)
+
+    lines = [
+        format_table(
+            rows, title="Fig. 9: cumulative utility (paper vs measured)"
+        ),
+        "",
+    ]
+    for strategy, series in sorted(cumulative_series(comparison).items()):
+        lines.append(format_series(series, strategy, max_points=10))
+    lines.append(
+        "checks: "
+        + ", ".join(f"{name}={value}" for name, value in checks.items())
+    )
+    emit("fig9_cumulative_utility", "\n".join(lines))
+
+    assert checks["mistral_wins"], rows
+    assert checks["pwr_cost_second"], rows
+    # Mistral must clearly outstrip the best baseline.
+    measured = {row["strategy"]: row["measured"] for row in rows}
+    assert measured["mistral"] > measured["pwr-cost"] * 1.05

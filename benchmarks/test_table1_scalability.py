@@ -1,0 +1,53 @@
+"""Bench: Table I — scalability of the hierarchical controller."""
+
+from conftest import emit
+
+from repro.experiments.report import format_table
+from repro.experiments.table1_scalability import (
+    PAPER_TABLE1,
+    run_table1,
+    scaling_checks,
+)
+
+
+#: Table I runs on the first three hours of the horizon (through the
+#: flash crowd) to keep the 3- and 4-app naive-search runs tractable;
+#: utilities are therefore smaller than the paper's full-horizon
+#: values, but the scaling shape is what the table demonstrates.
+TABLE1_HORIZON = 3.0 * 3600.0
+
+
+def test_table1_scalability(benchmark):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"horizon": TABLE1_HORIZON}, rounds=1, iterations=1
+    )
+    checks = scaling_checks(rows)
+
+    table_rows = []
+    for row in rows:
+        paper = PAPER_TABLE1[row.app_count]
+        table_rows.append(
+            {
+                "scenario": f"{row.app_count}-app ({row.vm_count} VM / {row.host_count} hosts)",
+                "selfaware_s": round(row.self_aware_overall_s, 2),
+                "selfaware_L1": round(row.self_aware_level1_s, 2),
+                "selfaware_L2": round(row.self_aware_level2_s, 2),
+                "naive_s": round(row.naive_overall_s, 2),
+                "naive_L2": round(row.naive_level2_s, 2),
+                "paper_selfaware_s": paper["self_aware_ms"] / 1000.0,
+                "paper_naive_s": paper["naive_ms"] / 1000.0,
+                "U_mistral": round(row.mistral_utility, 1),
+                "U_ideal": round(row.ideal_utility, 1),
+            }
+        )
+    text = format_table(
+        table_rows, title="Table I: search durations and utilities"
+    )
+    text += "\nchecks: " + ", ".join(
+        f"{name}={value}" for name, value in checks.items()
+    )
+    emit("table1_scalability", text)
+
+    assert checks["naive_slower_everywhere"]
+    assert checks["ideal_bounds_mistral"]
+    assert checks["naive_scales_worse_than_self_aware"]

@@ -1,0 +1,46 @@
+"""Quickstart: run Mistral on the paper's 2-application scenario.
+
+Builds the simulated testbed (two RUBiS applications on four hosts,
+World Cup '98-shaped workloads), runs the hierarchical Mistral
+controller for the first 90 minutes of the experiment, and prints what
+happened: response times against the target, power, adaptation
+actions, and the accrued utility.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.testbed import build_mistral, make_testbed
+
+
+def main() -> None:
+    testbed = make_testbed(app_count=2, seed=0)
+    controller, initial = build_mistral(testbed)
+    print(f"target response time: {testbed.utility.parameters.target_response_time * 1000:.0f} ms")
+    print(f"initial configuration: {initial}")
+    print()
+
+    metrics = testbed.run(controller, initial, "mistral", horizon=90 * 60.0)
+
+    print(f"samples: {len(metrics.power_watts)}")
+    print(f"cumulative utility: {metrics.cumulative_utility():+.2f}")
+    print(f"mean power: {metrics.mean_power():.1f} W")
+    print(f"mean hosts powered: {metrics.hosts_powered.mean():.2f}")
+    target = testbed.utility.parameters.target_response_time
+    for app_name, series in sorted(metrics.response_times.items()):
+        print(
+            f"{app_name}: mean RT {series.mean() * 1000:.0f} ms, "
+            f"target missed in {series.fraction_above(target):.0%} of intervals"
+        )
+    print()
+    print(f"adaptation actions executed: {metrics.action_count()}")
+    for record in metrics.actions[:10]:
+        print(
+            f"  t={record.start:7.0f}s  [{record.controller}]  "
+            f"{record.description}  ({record.end - record.start:.0f}s)"
+        )
+    if metrics.action_count() > 10:
+        print(f"  ... and {metrics.action_count() - 10} more")
+
+
+if __name__ == "__main__":
+    main()

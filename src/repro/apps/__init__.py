@@ -1,0 +1,29 @@
+"""Application substrate: multi-tier applications and the RUBiS workload.
+
+Applications are described by their tiers (web/app/db servers), the
+transaction types users issue against them (each with its own call
+graph and per-tier CPU demands), and replication rules.  The RUBiS
+factory reproduces the paper's three-tier auction benchmark with its
+"browsing only" mix of nine read-only transaction types.
+"""
+
+from repro.apps.application import Application, ApplicationSet, TierSpec
+from repro.apps.transactions import TransactionType, validate_mix
+from repro.apps.rubis import (
+    RUBIS_TIERS,
+    make_rubis_application,
+    rate_to_sessions,
+    sessions_to_rate,
+)
+
+__all__ = [
+    "Application",
+    "ApplicationSet",
+    "TierSpec",
+    "TransactionType",
+    "validate_mix",
+    "RUBIS_TIERS",
+    "make_rubis_application",
+    "rate_to_sessions",
+    "sessions_to_rate",
+]

@@ -1,0 +1,155 @@
+"""Multi-tier application descriptions.
+
+An :class:`Application` bundles the tier topology, transaction mix,
+and replication rules of one hosted service.  It also provides the
+mix-weighted aggregate CPU demand per tier, which is what the LQN
+solver and the Perf-Pwr optimizer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.apps.transactions import TransactionType, validate_mix
+from repro.core.config import VmCatalog, VmDescriptor
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier of a multi-tier application.
+
+    ``min_replicas``/``max_replicas`` encode the paper's replication
+    rules (Apache fixed at one replica, Tomcat/MySQL up to two).
+    """
+
+    name: str
+    software: str
+    min_replicas: int = 1
+    max_replicas: int = 1
+    vm_memory_mb: int = 200
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"tier {self.name}: min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"tier {self.name}: max_replicas {self.max_replicas} < "
+                f"min_replicas {self.min_replicas}"
+            )
+
+
+class Application:
+    """A distributed application composed of tiers and transactions."""
+
+    def __init__(
+        self,
+        name: str,
+        tiers: Sequence[TierSpec],
+        transactions: Sequence[TransactionType],
+    ) -> None:
+        if not tiers:
+            raise ValueError(f"application {name!r} needs at least one tier")
+        validate_mix(transactions)
+        tier_names = {tier.name for tier in tiers}
+        if len(tier_names) != len(tiers):
+            raise ValueError(f"application {name!r} has duplicate tier names")
+        for txn in transactions:
+            unknown = set(txn.tiers()) - tier_names
+            if unknown:
+                raise ValueError(
+                    f"transaction {txn.name!r} visits unknown tiers {unknown}"
+                )
+        self.name = name
+        self.tiers: tuple[TierSpec, ...] = tuple(tiers)
+        self.transactions: tuple[TransactionType, ...] = tuple(transactions)
+        self._tier_by_name = {tier.name: tier for tier in self.tiers}
+
+    def __repr__(self) -> str:
+        tiers = "/".join(tier.name for tier in self.tiers)
+        return f"Application({self.name!r}, tiers={tiers})"
+
+    def tier(self, tier_name: str) -> TierSpec:
+        """Tier spec by name; raises ``KeyError`` if unknown."""
+        return self._tier_by_name[tier_name]
+
+    def tier_names(self) -> tuple[str, ...]:
+        """Names of all tiers, front to back."""
+        return tuple(tier.name for tier in self.tiers)
+
+    def mean_tier_demand(self, tier_name: str) -> float:
+        """Mix-weighted mean CPU seconds per application request at a tier."""
+        return sum(
+            txn.mix_fraction * txn.tier_demand(tier_name)
+            for txn in self.transactions
+        )
+
+    def mean_tier_visits(self, tier_name: str) -> float:
+        """Mix-weighted mean visits per application request at a tier."""
+        return sum(
+            txn.mix_fraction * txn.visits.get(tier_name, 0.0)
+            for txn in self.transactions
+        )
+
+    def demand_profile(self) -> dict[str, float]:
+        """Tier name -> mean CPU seconds per request, for all tiers."""
+        return {
+            tier.name: self.mean_tier_demand(tier.name) for tier in self.tiers
+        }
+
+    def vm_descriptors(self) -> tuple[VmDescriptor, ...]:
+        """Descriptors for every replica slot (up to max replication).
+
+        VM ids follow ``<app>-<tier>-<k>`` with ``k`` counting replicas
+        from zero; replicas beyond a tier's current replication level
+        are dormant in the cold pool.
+        """
+        descriptors = []
+        for tier in self.tiers:
+            for index in range(tier.max_replicas):
+                descriptors.append(
+                    VmDescriptor(
+                        vm_id=f"{self.name}-{tier.name}-{index}",
+                        app_name=self.name,
+                        tier_name=tier.name,
+                        memory_mb=tier.vm_memory_mb,
+                    )
+                )
+        return tuple(descriptors)
+
+
+class ApplicationSet:
+    """The set of applications managed by one controller deployment."""
+
+    def __init__(self, applications: Iterable[Application]) -> None:
+        self._apps: dict[str, Application] = {}
+        for app in applications:
+            if app.name in self._apps:
+                raise ValueError(f"duplicate application name {app.name!r}")
+            self._apps[app.name] = app
+        if not self._apps:
+            raise ValueError("ApplicationSet needs at least one application")
+
+    def __iter__(self) -> Iterator[Application]:
+        return iter(self._apps.values())
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def __contains__(self, app_name: str) -> bool:
+        return app_name in self._apps
+
+    def get(self, app_name: str) -> Application:
+        """Application by name; raises ``KeyError`` if unknown."""
+        return self._apps[app_name]
+
+    def names(self) -> tuple[str, ...]:
+        """Application names in insertion order."""
+        return tuple(self._apps)
+
+    def build_catalog(self) -> VmCatalog:
+        """Catalog of every VM (all replica slots) across all apps."""
+        descriptors: list[VmDescriptor] = []
+        for app in self._apps.values():
+            descriptors.extend(app.vm_descriptors())
+        return VmCatalog(descriptors)

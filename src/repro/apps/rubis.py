@@ -1,0 +1,111 @@
+"""RUBiS application factory.
+
+Reproduces the paper's test application: a three-tier servlet RUBiS
+(Apache web server, Tomcat application server, MySQL database) under
+the "browsing only" transaction mix of nine read-only transaction
+types (paper §V-A).  Per-visit CPU demands are normalized so that the
+mix-weighted mean demand per tier matches the calibration anchors that
+make the paper's "default configuration" (all caps 40%, 50 req/s)
+produce a mean response time near the 400 ms target.
+
+The paper controls workload by the number of simulated concurrent user
+sessions and maps desired request rates onto session counts; the
+800-session peak corresponds to the 100 req/s ceiling, giving the
+``sessions = 8 x rate`` mapping used here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.application import Application, TierSpec
+from repro.apps.transactions import TransactionType
+
+#: Tier topology of a RUBiS deployment: Apache is never replicated; the
+#: Tomcat and MySQL tiers replicate up to two copies (MySQL through the
+#: master-slave mechanism described in the paper).
+RUBIS_TIERS: tuple[TierSpec, ...] = (
+    TierSpec(name="web", software="apache", min_replicas=1, max_replicas=1),
+    TierSpec(name="app", software="tomcat", min_replicas=1, max_replicas=2),
+    TierSpec(name="db", software="mysql", min_replicas=1, max_replicas=2),
+)
+
+#: Mix-weighted mean CPU seconds per request each tier should consume;
+#: chosen so the default configuration sits near the 400 ms target.
+_TIER_MEAN_DEMAND = {"web": 0.0012, "app": 0.0032, "db": 0.0070}
+
+#: Concurrent sessions per request-per-second of offered load.
+_SESSIONS_PER_REQ_PER_SEC = 8.0
+
+# (name, mix fraction, web visits, app visits, db visits, relative weight)
+# The relative weight scales a transaction's per-visit demand against
+# the tier mean: search transactions are heavier than static pages.
+_BROWSE_MIX = (
+    ("home", 0.08, 1, 0, 0, 0.6),
+    ("browse", 0.06, 1, 0, 0, 0.6),
+    ("browse-categories", 0.12, 1, 1, 2, 0.8),
+    ("search-items-in-category", 0.25, 1, 1, 5, 1.3),
+    ("browse-regions", 0.06, 1, 1, 2, 0.8),
+    ("browse-categories-in-region", 0.06, 1, 1, 3, 0.9),
+    ("search-items-in-region", 0.12, 1, 1, 5, 1.3),
+    ("view-item", 0.15, 1, 1, 3, 1.0),
+    ("view-user-info", 0.10, 1, 1, 4, 1.1),
+)
+
+
+def rate_to_sessions(request_rate: float) -> float:
+    """Concurrent user sessions needed to offer ``request_rate`` req/s."""
+    if request_rate < 0:
+        raise ValueError(f"negative request rate {request_rate!r}")
+    return request_rate * _SESSIONS_PER_REQ_PER_SEC
+
+
+def sessions_to_rate(sessions: float) -> float:
+    """Offered request rate (req/s) of ``sessions`` concurrent sessions."""
+    if sessions < 0:
+        raise ValueError(f"negative session count {sessions!r}")
+    return sessions / _SESSIONS_PER_REQ_PER_SEC
+
+
+def make_rubis_application(name: str, demand_scale: float = 1.0) -> Application:
+    """Build one RUBiS application instance.
+
+    Parameters
+    ----------
+    name:
+        Application name, e.g. ``"RUBiS-1"``.
+    demand_scale:
+        Multiplier on every CPU demand; 1.0 reproduces the paper's
+        setup, other values model faster/slower transaction mixes.
+    """
+    if demand_scale <= 0:
+        raise ValueError(f"demand_scale must be positive, got {demand_scale!r}")
+
+    # First pass: raw per-visit demands proportional to the relative
+    # weights, then normalize each tier so the mix-weighted mean demand
+    # per request equals the calibration anchor.
+    raw_mean = {tier: 0.0 for tier in _TIER_MEAN_DEMAND}
+    for _, mix, web_v, app_v, db_v, weight in _BROWSE_MIX:
+        raw_mean["web"] += mix * web_v * weight
+        raw_mean["app"] += mix * app_v * weight
+        raw_mean["db"] += mix * db_v * weight
+    tier_unit = {
+        tier: demand_scale * _TIER_MEAN_DEMAND[tier] / raw_mean[tier]
+        for tier in _TIER_MEAN_DEMAND
+    }
+
+    transactions = []
+    for txn_name, mix, web_v, app_v, db_v, weight in _BROWSE_MIX:
+        visits = {"web": float(web_v), "app": float(app_v), "db": float(db_v)}
+        demand = {
+            tier: weight * tier_unit[tier]
+            for tier, count in visits.items()
+            if count > 0
+        }
+        transactions.append(
+            TransactionType(
+                name=txn_name,
+                mix_fraction=mix,
+                visits=visits,
+                demand_per_visit=demand,
+            )
+        )
+    return Application(name=name, tiers=RUBIS_TIERS, transactions=transactions)

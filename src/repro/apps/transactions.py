@@ -1,0 +1,82 @@
+"""Transaction types and their call graphs.
+
+Each transaction type (paper §II-A: home, login, search, browse, ...)
+generates a unique call graph through a subset of the application
+tiers.  We represent the call graph by the number of synchronous visits
+the transaction makes to each tier and the CPU demand per visit.  The
+mix fraction gives the probability of the transaction within the
+application's workload mix, so the application-level request rate can
+be decomposed into per-transaction rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class TransactionType:
+    """One user-visible transaction and its resource footprint.
+
+    Attributes
+    ----------
+    name:
+        Transaction name, e.g. ``"browse-categories"``.
+    mix_fraction:
+        Probability of this transaction in the workload mix; the
+        fractions of an application's transactions sum to 1.
+    visits:
+        Tier name -> number of synchronous calls the transaction makes
+        into that tier (0 = tier not on the call graph).
+    demand_per_visit:
+        Tier name -> CPU seconds consumed per visit at full CPU speed.
+    """
+
+    name: str
+    mix_fraction: float
+    visits: Mapping[str, float]
+    demand_per_visit: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mix_fraction <= 1.0:
+            raise ValueError(
+                f"{self.name}: mix_fraction must be in [0, 1], got "
+                f"{self.mix_fraction!r}"
+            )
+        for tier, count in self.visits.items():
+            if count < 0:
+                raise ValueError(f"{self.name}: negative visits at {tier!r}")
+        for tier, demand in self.demand_per_visit.items():
+            if demand < 0:
+                raise ValueError(f"{self.name}: negative demand at {tier!r}")
+        missing = set(self.demand_per_visit) - set(self.visits)
+        if missing:
+            raise ValueError(
+                f"{self.name}: demand given for tiers without visits: {missing}"
+            )
+        object.__setattr__(self, "visits", dict(self.visits))
+        object.__setattr__(self, "demand_per_visit", dict(self.demand_per_visit))
+
+    def tier_demand(self, tier_name: str) -> float:
+        """Total CPU seconds this transaction consumes at one tier."""
+        return self.visits.get(tier_name, 0.0) * self.demand_per_visit.get(
+            tier_name, 0.0
+        )
+
+    def tiers(self) -> tuple[str, ...]:
+        """Tiers on this transaction's call graph (with >=1 visit)."""
+        return tuple(tier for tier, count in self.visits.items() if count > 0)
+
+
+def validate_mix(transactions: Iterable[TransactionType]) -> None:
+    """Check that mix fractions form a probability distribution."""
+    transactions = list(transactions)
+    if not transactions:
+        raise ValueError("empty transaction mix")
+    total = sum(txn.mix_fraction for txn in transactions)
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"mix fractions sum to {total:.6f}, expected 1.0")
+    names = [txn.name for txn in transactions]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate transaction names in mix")

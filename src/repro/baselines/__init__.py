@@ -1,0 +1,19 @@
+"""Baseline controllers (paper §V-C).
+
+Each baseline optimizes the tradeoff between two of the three
+objectives — performance, power, transient adaptation cost — that
+Mistral optimizes jointly:
+
+- :class:`PerfPwrController` — performance vs power, costs ignored.
+- :class:`PerfCostController` — performance vs adaptation cost over a
+  fixed per-application host pool; no consolidation, no power savings.
+- :class:`PwrCostController` — power vs adaptation cost under static
+  per-rate VM capacities that always meet the response-time target
+  (pMapper-style).
+"""
+
+from repro.baselines.perf_pwr import PerfPwrController
+from repro.baselines.perf_cost import PerfCostController
+from repro.baselines.pwr_cost import PwrCostController
+
+__all__ = ["PerfPwrController", "PerfCostController", "PwrCostController"]

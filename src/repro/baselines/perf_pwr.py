@@ -1,0 +1,85 @@
+"""The Perf-Pwr baseline controller (paper §V-C).
+
+Addresses the performance-power tradeoff but ignores transient
+adaptation costs: whenever the workload changes, it computes the
+cost-oblivious optimum with the Perf-Pwr optimizer and executes
+whatever action sequence reaches it, however disruptive.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.config import Configuration
+from repro.core.controller import ControllerStats, Decision
+from repro.core.perf_pwr import PerfPwrOptimizer
+from repro.core.planner import plan_transition
+from repro.workload.monitor import WorkloadMonitor
+
+
+class PerfPwrController:
+    """Re-optimize to the cost-free optimum on every workload change."""
+
+    def __init__(
+        self,
+        name: str,
+        optimizer: PerfPwrOptimizer,
+        monitor: Optional[WorkloadMonitor] = None,
+        decision_seconds: float = 1.0,
+        search_watts: float = 7.2,
+    ) -> None:
+        self.name = name
+        self.optimizer = optimizer
+        self.monitor = monitor or WorkloadMonitor(band_width=0.0)
+        self.decision_seconds = decision_seconds
+        self.search_watts = search_watts
+        self.stats = ControllerStats()
+
+    def record_interval_utility(self, utility: float) -> None:
+        """Present for interface parity; Perf-Pwr ignores utilities."""
+
+    def on_sample(
+        self,
+        now: float,
+        workloads: Mapping[str, float],
+        configuration: Configuration,
+        busy: bool = False,
+    ) -> list[Decision]:
+        """Chase the cost-free optimum whenever the workload moves."""
+        self.stats.invocations += 1
+        escape = self.monitor.observe(now, workloads)
+        if escape is None:
+            return []
+        self.stats.escapes += 1
+        if busy:
+            self.stats.skipped_busy += 1
+            return []
+
+        result = self.optimizer.optimize(dict(workloads))
+        self.stats.decisions += 1
+        self.stats.search_seconds.append(self.decision_seconds)
+        if result.configuration == configuration:
+            self.stats.null_decisions += 1
+            return []
+        actions = plan_transition(
+            configuration,
+            result.configuration,
+            self.optimizer.catalog,
+            self.optimizer.limits,
+        )
+        if not actions:
+            self.stats.null_decisions += 1
+            return []
+        self.stats.actions_issued += len(actions)
+        return [
+            Decision(
+                time=now,
+                controller=self.name,
+                actions=tuple(actions),
+                control_window=escape.estimated_next_interval,
+                decision_seconds=self.decision_seconds,
+                search_watts=self.search_watts,
+                outcome=None,
+                escape=escape,
+            )
+        ]

@@ -1,0 +1,339 @@
+"""The Pwr-Cost baseline controller (paper §V-C, pMapper-inspired).
+
+Minimizes power and adaptation cost under *static per-rate VM
+capacities*: for the current request rates, an oracle (the modified
+Perf-Pwr optimizer) dictates the VM sizes that always meet the target
+response time.  The controller then
+
+1. retunes the running VMs to the dictated sizes (adding/removing
+   replicas the oracle dictates),
+2. repairs any host-capacity violations by migrating the smallest VMs
+   away (booting a host if nothing has room), and
+3. consolidates: empties the least-loaded host onto the others when the
+   power saved over the control window exceeds the migration cost,
+   shutting the emptied host down.
+
+Unlike Mistral, it never trades the response-time target away for
+power or cost savings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.config import (
+    Configuration,
+    ConstraintLimits,
+    Placement,
+    VmCatalog,
+)
+from repro.core.controller import ControllerStats, Decision
+from repro.core.estimator import UtilityEstimator
+from repro.core.perf_pwr import PerfPwrOptimizer
+from repro.core.planner import plan_transition
+from repro.costmodel.manager import CostManager
+from repro.workload.monitor import WorkloadMonitor
+
+
+class PwrCostController:
+    """Static capacities; minimize power and migration cost."""
+
+    def __init__(
+        self,
+        name: str,
+        oracle: PerfPwrOptimizer,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+        estimator: UtilityEstimator,
+        cost_manager: CostManager,
+        host_ids: Sequence[str],
+        monitor: Optional[WorkloadMonitor] = None,
+        min_control_window: float = 120.0,
+        decision_seconds: float = 1.5,
+        search_watts: float = 7.2,
+    ) -> None:
+        self.name = name
+        self.oracle = oracle
+        self.catalog = catalog
+        self.limits = limits
+        self.estimator = estimator
+        self.cost_manager = cost_manager
+        self.host_ids = tuple(host_ids)
+        self.monitor = monitor or WorkloadMonitor(band_width=0.0)
+        self.min_control_window = min_control_window
+        self.decision_seconds = decision_seconds
+        self.search_watts = search_watts
+        self.stats = ControllerStats()
+
+    def record_interval_utility(self, utility: float) -> None:
+        """Present for interface parity; Pwr-Cost ignores utilities."""
+
+    # -- control loop -----------------------------------------------------
+
+    def on_sample(
+        self,
+        now: float,
+        workloads: Mapping[str, float],
+        configuration: Configuration,
+        busy: bool = False,
+    ) -> list[Decision]:
+        """Retune to oracle capacities, repair, and maybe consolidate."""
+        self.stats.invocations += 1
+        escape = self.monitor.observe(now, workloads)
+        if escape is None:
+            return []
+        self.stats.escapes += 1
+        if busy:
+            self.stats.skipped_busy += 1
+            return []
+
+        window = max(escape.estimated_next_interval, self.min_control_window)
+        sizes = self.oracle.minimal_capacities(dict(workloads))
+        target = self._fit(configuration, dict(sizes.caps))
+        target = self._consolidate(target, dict(workloads), window)
+
+        self.stats.decisions += 1
+        self.stats.search_seconds.append(self.decision_seconds)
+        if target == configuration:
+            self.stats.null_decisions += 1
+            return []
+        actions = plan_transition(
+            configuration, target, self.catalog, self.limits
+        )
+        if not actions:
+            self.stats.null_decisions += 1
+            return []
+        self.stats.actions_issued += len(actions)
+        return [
+            Decision(
+                time=now,
+                controller=self.name,
+                actions=tuple(actions),
+                control_window=window,
+                decision_seconds=self.decision_seconds,
+                search_watts=self.search_watts,
+                outcome=None,
+                escape=escape,
+            )
+        ]
+
+    # -- target construction ------------------------------------------------
+
+    def _free_cpu(self, placements: dict[str, Placement], host: str) -> float:
+        used = sum(
+            placement.cpu_cap
+            for placement in placements.values()
+            if placement.host_id == host
+        )
+        return self.limits.max_total_cpu_cap - used
+
+    def _host_fits(
+        self,
+        placements: dict[str, Placement],
+        host: str,
+        vm_id: str,
+        cap: float,
+    ) -> bool:
+        descriptor = self.catalog.get(vm_id)
+        count = sum(
+            1
+            for placement in placements.values()
+            if placement.host_id == host
+        )
+        memory = sum(
+            self.catalog.get(other).memory_mb
+            for other, placement in placements.items()
+            if placement.host_id == host
+        )
+        return (
+            self._free_cpu(placements, host) + 1e-9 >= cap
+            and count < self.limits.max_vms_per_host
+            and memory + descriptor.memory_mb <= self.limits.guest_memory_mb
+        )
+
+    def _fit(
+        self, current: Configuration, sizes: dict[str, float]
+    ) -> Configuration:
+        """Apply oracle sizes onto current placement and repair hosts."""
+        powered = set(current.powered_hosts)
+        placements: dict[str, Placement] = {}
+        for vm_id, cap in sizes.items():
+            placement = current.placement_of(vm_id)
+            if placement is not None:
+                placements[vm_id] = Placement(placement.host_id, cap)
+
+        # New replicas: most-free powered host first.
+        for vm_id, cap in sizes.items():
+            if vm_id in placements:
+                continue
+            candidates = sorted(
+                (host for host in powered
+                 if self._host_fits(placements, host, vm_id, cap)),
+                key=lambda host: (-self._free_cpu(placements, host), host),
+            )
+            if candidates:
+                placements[vm_id] = Placement(candidates[0], cap)
+                continue
+            booted = self._boot_host(powered)
+            if booted is not None:
+                placements[vm_id] = Placement(booted, cap)
+            else:
+                # Cluster exhausted: overcommit the freest host rather
+                # than dropping the replica (degraded but functional).
+                fallback = max(
+                    powered,
+                    key=lambda host: (self._free_cpu(placements, host), host),
+                )
+                placements[vm_id] = Placement(fallback, cap)
+
+        # Repair overloaded hosts: migrate the smallest VMs away (§V-C:
+        # "the VMs are migrated starting from the smallest one").
+        for host in sorted({p.host_id for p in placements.values()}):
+            while self._free_cpu(placements, host) < -1e-9 or not self._counts_ok(
+                placements, host
+            ):
+                movable = sorted(
+                    (
+                        (placement.cpu_cap, vm_id)
+                        for vm_id, placement in placements.items()
+                        if placement.host_id == host
+                    ),
+                )
+                moved = False
+                for cap, vm_id in movable:
+                    destinations = sorted(
+                        (
+                            other
+                            for other in powered
+                            if other != host
+                            and self._host_fits(placements, other, vm_id, cap)
+                        ),
+                        key=lambda other: (
+                            -self._free_cpu(placements, other),
+                            other,
+                        ),
+                    )
+                    if destinations:
+                        placements[vm_id] = Placement(destinations[0], cap)
+                        moved = True
+                        break
+                if not moved:
+                    booted = self._boot_host(powered)
+                    if booted is None:
+                        # Cluster exhausted: accept the overcommit.
+                        break
+                    smallest = movable[0][1]
+                    placements[smallest] = Placement(
+                        booted, placements[smallest].cpu_cap
+                    )
+        return Configuration(placements, frozenset(powered))
+
+    def _counts_ok(
+        self, placements: dict[str, Placement], host: str
+    ) -> bool:
+        count = sum(
+            1 for placement in placements.values() if placement.host_id == host
+        )
+        memory = sum(
+            self.catalog.get(vm_id).memory_mb
+            for vm_id, placement in placements.items()
+            if placement.host_id == host
+        )
+        return (
+            count <= self.limits.max_vms_per_host
+            and memory <= self.limits.guest_memory_mb
+        )
+
+    def _boot_host(self, powered: set[str]) -> Optional[str]:
+        """Reserve the next dark host, or None if all are powered."""
+        for host in self.host_ids:
+            if host not in powered:
+                powered.add(host)
+                return host
+        return None
+
+    # -- consolidation --------------------------------------------------------
+
+    def _consolidate(
+        self,
+        target: Configuration,
+        workloads: Mapping[str, float],
+        window: float,
+    ) -> Configuration:
+        """Empty the least-loaded host when the saving beats the cost."""
+        while True:
+            placements = dict(target.placements)
+            used = sorted(
+                target.used_hosts(),
+                key=lambda host: (target.host_cpu_load(host), host),
+            )
+            # Power off hosts that are already empty (free win).
+            for host in sorted(target.idle_hosts()):
+                target = target.power_off(host)
+            if len(used) <= 1:
+                return target
+
+            victim = used[0]
+            moved = dict(placements)
+            feasible = True
+            for vm_id in target.vms_on_host(victim):
+                cap = placements[vm_id].cpu_cap
+                destinations = sorted(
+                    (
+                        host
+                        for host in target.powered_hosts
+                        if host != victim
+                        and self._host_fits(moved, host, vm_id, cap)
+                    ),
+                    key=lambda host: (self._free_cpu(moved, host), host),
+                )
+                if not destinations:
+                    feasible = False
+                    break
+                moved[vm_id] = Placement(destinations[0], cap)
+            if not feasible:
+                return target
+
+            candidate = Configuration(
+                moved, target.powered_hosts
+            ).power_off(victim)
+            if not candidate.is_candidate(self.catalog, self.limits):
+                return target
+            if self._worth_it(target, candidate, workloads, window):
+                target = candidate
+            else:
+                return target
+
+    def _worth_it(
+        self,
+        before: Configuration,
+        after: Configuration,
+        workloads: Mapping[str, float],
+        window: float,
+    ) -> bool:
+        """Power saving versus migration cost (paper §V-C).
+
+        The paper's Pwr-Cost weighs only the *power* side of the
+        tradeoff — consolidation savings against the energy overhead of
+        the migrations — never the performance impact of migrating.
+        """
+        utility = self.estimator.utility
+        watts_before = self.estimator.estimate(before, workloads).watts
+        watts_after = self.estimator.estimate(after, workloads).watts
+        actions = plan_transition(before, after, self.catalog, self.limits)
+        transition_time = 0.0
+        transition_power_cost = 0.0
+        for action in actions:
+            predicted = self.cost_manager.predict(action, before, workloads)
+            transition_time += predicted.duration
+            transition_power_cost += predicted.duration * (
+                -utility.power_utility_rate(
+                    watts_before + predicted.power_delta_watts
+                )
+            )
+        remaining = max(0.0, window - transition_time)
+        cost_stay = window * (-utility.power_utility_rate(watts_before))
+        cost_move = transition_power_cost + remaining * (
+            -utility.power_utility_rate(watts_after)
+        )
+        return cost_move < cost_stay

@@ -1,0 +1,28 @@
+"""Simulated Xen cluster substrate.
+
+Stands in for the paper's testbed: 8 Pentium-4-class hosts running Xen
+with credit-scheduler CPU caps, a dormant-VM pool host, shared storage,
+and a watt meter.  The substrate exposes exactly the surface the
+controllers interact with — monitored workload/response time/power and
+actuation of the six adaptation actions with realistic durations and
+transient performance/power side effects (paper Figs. 1 and 7).
+"""
+
+from repro.cluster.host import HostSpec, PhysicalHost, PowerState
+from repro.cluster.vm import VirtualMachine, VmState
+from repro.cluster.transients import TransientModel, TransientSpec
+from repro.cluster.cluster import ActionExecution, Cluster
+from repro.cluster.power_meter import PowerMeter
+
+__all__ = [
+    "HostSpec",
+    "PhysicalHost",
+    "PowerState",
+    "VirtualMachine",
+    "VmState",
+    "TransientModel",
+    "TransientSpec",
+    "ActionExecution",
+    "Cluster",
+    "PowerMeter",
+]

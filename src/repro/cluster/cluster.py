@@ -1,0 +1,312 @@
+"""Cluster runtime: deployed configuration + action execution timeline.
+
+The cluster owns the *deployed* configuration and executes adaptation
+plans sequentially on the simulation engine.  Each action samples its
+true transient footprint (duration, RT deltas, power deltas) from the
+:class:`~repro.cluster.transients.TransientModel` at start time; the
+configuration change lands when the action completes (live migration
+cuts over at the end of pre-copy), except host shutdown whose steady
+draw disappears at start while the shutdown surge applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.cluster.host import HostSpec, PhysicalHost, PowerState
+from repro.cluster.transients import TransientModel, TransientSpec
+from repro.cluster.vm import VirtualMachine
+from repro.core.actions import (
+    AdaptationAction,
+    MigrateVm,
+    NullAction,
+    PowerOffHost,
+    PowerOnHost,
+)
+from repro.core.config import Configuration, ConstraintLimits, VmCatalog
+from repro.power.model import SystemPowerModel
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class _Effect:
+    """One in-flight transient effect window."""
+
+    start: float
+    end: float
+    spec: TransientSpec
+
+
+@dataclass
+class ExecutedAction:
+    """Record of one executed (or in-flight) action."""
+
+    action: AdaptationAction
+    start: float
+    end: float
+    spec: TransientSpec
+
+
+@dataclass
+class ActionExecution:
+    """Handle over one adaptation plan's execution."""
+
+    actions: Sequence[AdaptationAction]
+    started_at: float
+    records: list[ExecutedAction] = field(default_factory=list)
+    completed: bool = False
+    aborted: Optional[str] = None
+
+    def total_duration(self) -> float:
+        """Seconds spent executing so far (sum of action durations)."""
+        return sum(record.spec.duration for record in self.records)
+
+
+class ClusterBusyError(RuntimeError):
+    """Raised when a plan is submitted while another is executing."""
+
+
+class Cluster:
+    """The simulated resource pool the controllers manage."""
+
+    def __init__(
+        self,
+        host_specs: Sequence[HostSpec],
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+        engine: SimulationEngine,
+        transient_model: TransientModel,
+        power_models: SystemPowerModel,
+        workload_provider: Callable[[], Mapping[str, float]],
+    ) -> None:
+        if not host_specs:
+            raise ValueError("cluster needs at least one host")
+        self.engine = engine
+        self.catalog = catalog
+        self.limits = limits
+        self.power_models = power_models
+        self._transients = transient_model
+        self._workloads = workload_provider
+        self.hosts: dict[str, PhysicalHost] = {
+            spec.host_id: PhysicalHost(
+                spec,
+                power_models.host_model(spec.host_id),
+                initial_state=PowerState.OFF,
+            )
+            for spec in host_specs
+        }
+        self.vms: dict[str, VirtualMachine] = {
+            descriptor.vm_id: VirtualMachine(descriptor)
+            for descriptor in catalog
+        }
+        self._configuration: Optional[Configuration] = None
+        self._effects: list[_Effect] = []
+        self._current_plan: Optional[ActionExecution] = None
+        self.history: list[ExecutedAction] = []
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def configuration(self) -> Configuration:
+        """The currently deployed configuration."""
+        if self._configuration is None:
+            raise RuntimeError("cluster has no deployed configuration yet")
+        return self._configuration
+
+    def is_adapting(self) -> bool:
+        """Whether an adaptation plan is currently executing."""
+        return self._current_plan is not None
+
+    def deploy(self, configuration: Configuration) -> None:
+        """Instantly install an initial configuration (experiment setup)."""
+        violations = configuration.violations(self.catalog, self.limits)
+        if violations:
+            raise ValueError(
+                "initial configuration is infeasible: " + "; ".join(violations)
+            )
+        unknown = configuration.powered_hosts - set(self.hosts)
+        if unknown:
+            raise ValueError(f"unknown hosts {sorted(unknown)}")
+        self._configuration = configuration
+        for host in self.hosts.values():
+            wanted = host.host_id in configuration.powered_hosts
+            if wanted and host.state is PowerState.OFF:
+                host.begin_boot()
+                host.complete_boot()
+            elif not wanted and host.state is PowerState.ON:
+                host.begin_shutdown()
+                host.complete_shutdown()
+        for vm in self.vms.values():
+            placement = configuration.placement_of(vm.vm_id)
+            if placement is not None:
+                vm.activate(placement.host_id, placement.cpu_cap)
+
+    # -- transient queries ------------------------------------------------
+
+    def _prune_effects(self, keep_horizon: float = 900.0) -> None:
+        """Drop effects that ended more than ``keep_horizon`` seconds
+        ago (recent ones are still needed for windowed averages)."""
+        cutoff = self.engine.now - keep_horizon
+        self._effects = [
+            effect for effect in self._effects if effect.end > cutoff
+        ]
+
+    def transient_rt_delta(self, app_name: str) -> float:
+        """Extra response time (s) the app suffers from in-flight actions."""
+        now = self.engine.now
+        self._prune_effects()
+        return sum(
+            effect.spec.rt_delta.get(app_name, 0.0)
+            for effect in self._effects
+            if effect.start <= now < effect.end
+        )
+
+    def transient_power_delta(self) -> float:
+        """Extra watts drawn by in-flight actions right now."""
+        now = self.engine.now
+        self._prune_effects()
+        return sum(
+            effect.spec.total_power_delta()
+            for effect in self._effects
+            if effect.start <= now < effect.end
+        )
+
+    def transient_rt_delta_mean(
+        self, app_name: str, start: float, end: float
+    ) -> float:
+        """Time-averaged RT delta over a window (Eq. 1 uses the *mean*
+        response time over the monitoring window, so a 30 s migration
+        inside a 120 s window contributes a quarter of its delta)."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for effect in self._effects:
+            overlap = min(end, effect.end) - max(start, effect.start)
+            if overlap > 0:
+                total += overlap * effect.spec.rt_delta.get(app_name, 0.0)
+        return total / (end - start)
+
+    def transient_power_delta_mean(self, start: float, end: float) -> float:
+        """Time-averaged transient watts over a window."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for effect in self._effects:
+            overlap = min(end, effect.end) - max(start, effect.start)
+            if overlap > 0:
+                total += overlap * effect.spec.total_power_delta()
+        return total / (end - start)
+
+    # -- plan execution ---------------------------------------------------
+
+    def execute_plan(
+        self,
+        actions: Sequence[AdaptationAction],
+        start_delay: float = 0.0,
+        on_complete: Optional[Callable[[ActionExecution], None]] = None,
+    ) -> ActionExecution:
+        """Execute a sequence of actions, one after another.
+
+        ``start_delay`` models the controller's decision delay: the
+        first action begins that many seconds from now.  Returns a
+        handle that fills in per-action records as execution proceeds.
+        """
+        if self._current_plan is not None:
+            raise ClusterBusyError("an adaptation plan is already executing")
+        plan_actions = [
+            action for action in actions if not isinstance(action, NullAction)
+        ]
+        execution = ActionExecution(
+            actions=tuple(plan_actions),
+            started_at=self.engine.now + start_delay,
+        )
+        if not plan_actions:
+            execution.completed = True
+            if on_complete is not None:
+                on_complete(execution)
+            return execution
+
+        self._current_plan = execution
+        remaining = list(plan_actions)
+
+        def start_next() -> None:
+            action = remaining.pop(0)
+            try:
+                new_config = action.apply(
+                    self.configuration, self.catalog, self.limits
+                )
+            except Exception as error:  # noqa: BLE001 - surfaced to handle
+                execution.aborted = f"{action}: {error}"
+                self._current_plan = None
+                if on_complete is not None:
+                    on_complete(execution)
+                return
+            spec = self._transients.sample(
+                action, self.configuration, self._workloads()
+            )
+            start = self.engine.now
+            end = start + spec.duration
+            record = ExecutedAction(action, start, end, spec)
+            execution.records.append(record)
+            self.history.append(record)
+            self._effects.append(_Effect(start, end, spec))
+            self._begin_action(action)
+            self.engine.schedule_at(
+                end, lambda: finish(action, record), label=f"finish:{action}"
+            )
+
+        def finish(action: AdaptationAction, record: ExecutedAction) -> None:
+            self._complete_action(action)
+            if remaining:
+                start_next()
+            else:
+                execution.completed = True
+                self._current_plan = None
+                if on_complete is not None:
+                    on_complete(execution)
+
+        self.engine.schedule_after(start_delay, start_next, label="plan:start")
+        return execution
+
+    # -- action state transitions -----------------------------------------
+
+    def _begin_action(self, action: AdaptationAction) -> None:
+        if isinstance(action, PowerOffHost):
+            # Steady draw disappears immediately; the shutdown surge is
+            # the transient effect.
+            self._configuration = action.apply(
+                self.configuration, self.catalog, self.limits
+            )
+            self.hosts[action.host_id].begin_shutdown()
+        elif isinstance(action, PowerOnHost):
+            self.hosts[action.host_id].begin_boot()
+        elif isinstance(action, MigrateVm):
+            self.vms[action.vm_id].begin_migration()
+
+    def _complete_action(self, action: AdaptationAction) -> None:
+        if isinstance(action, PowerOffHost):
+            self.hosts[action.host_id].complete_shutdown()
+            return
+        new_config = action.apply(self.configuration, self.catalog, self.limits)
+        if isinstance(action, PowerOnHost):
+            self.hosts[action.host_id].complete_boot()
+        elif isinstance(action, MigrateVm):
+            placement = new_config.placement_of(action.vm_id)
+            assert placement is not None
+            self.vms[action.vm_id].complete_migration(placement.host_id)
+        else:
+            self._sync_vm_states(new_config)
+        self._configuration = new_config
+
+    def _sync_vm_states(self, new_config: Configuration) -> None:
+        """Reconcile VM runtime objects after cap/replica changes."""
+        for vm in self.vms.values():
+            old = self.configuration.placement_of(vm.vm_id)
+            new = new_config.placement_of(vm.vm_id)
+            if old is None and new is not None:
+                vm.activate(new.host_id, new.cpu_cap)
+            elif old is not None and new is None:
+                vm.deactivate()
+            elif new is not None and old is not None and old != new:
+                vm.set_cap(new.cpu_cap)

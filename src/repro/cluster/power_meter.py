@@ -1,0 +1,72 @@
+"""Watt-meter readings over the simulated cluster.
+
+The paper hooks every machine except the client emulators to a power
+meter.  The meter here reads the true system draw: steady per-host
+power from the hidden true power curves at the current (true) host
+utilizations, plus in-flight transient deltas, plus optional fixed
+infrastructure draw (storage / dormant-pool hosts), with additive
+meter noise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+
+
+class PowerMeter:
+    """Reads total watts from the cluster's hidden truth."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        infrastructure_watts: float = 0.0,
+        noise_watts: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if infrastructure_watts < 0:
+            raise ValueError("infrastructure_watts must be >= 0")
+        if noise_watts < 0:
+            raise ValueError("noise_watts must be >= 0")
+        self._cluster = cluster
+        self._infrastructure_watts = infrastructure_watts
+        self._noise_watts = noise_watts
+        self._rng = rng
+
+    def steady_watts(self, host_utilizations: Mapping[str, float]) -> float:
+        """Steady draw of the powered hosts at the given utilizations."""
+        configuration = self._cluster.configuration
+        return self._cluster.power_models.total_watts(
+            configuration.powered_hosts, host_utilizations
+        )
+
+    def read(self, host_utilizations: Mapping[str, float]) -> float:
+        """One meter sample: steady + transient + infrastructure + noise."""
+        watts = (
+            self.steady_watts(host_utilizations)
+            + self._cluster.transient_power_delta()
+            + self._infrastructure_watts
+        )
+        if self._rng is not None and self._noise_watts > 0:
+            watts += float(self._rng.normal(0.0, self._noise_watts))
+        return max(0.0, watts)
+
+    def read_windowed(
+        self,
+        host_utilizations: Mapping[str, float],
+        start: float,
+        end: float,
+    ) -> float:
+        """Mean draw over a window: transient deltas are time-averaged
+        (the paper prices energy per watt-monitoring-interval)."""
+        watts = (
+            self.steady_watts(host_utilizations)
+            + self._cluster.transient_power_delta_mean(start, end)
+            + self._infrastructure_watts
+        )
+        if self._rng is not None and self._noise_watts > 0:
+            watts += float(self._rng.normal(0.0, self._noise_watts))
+        return max(0.0, watts)

@@ -1,0 +1,96 @@
+"""Virtual machine runtime objects."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.config import VmDescriptor
+
+
+class VmState(enum.Enum):
+    """Lifecycle of a VM replica."""
+
+    DORMANT = "dormant"
+    ACTIVE = "active"
+    MIGRATING = "migrating"
+
+
+class VirtualMachine:
+    """Runtime state of one VM replica.
+
+    Dormant VMs live in the cold pool (on the pool host) with no CPU
+    allocation; active VMs run on a cluster host with a credit-scheduler
+    cap.  During a live migration the VM keeps serving from its source
+    host until cutover, which is how Xen's pre-copy migration behaves
+    and why the configuration change lands at action completion.
+    """
+
+    def __init__(self, descriptor: VmDescriptor) -> None:
+        self.descriptor = descriptor
+        self._state = VmState.DORMANT
+        self._host_id: Optional[str] = None
+        self._cpu_cap: float = 0.0
+
+    @property
+    def vm_id(self) -> str:
+        """Identifier of the VM."""
+        return self.descriptor.vm_id
+
+    @property
+    def state(self) -> VmState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def host_id(self) -> Optional[str]:
+        """Host currently serving the VM (None while dormant)."""
+        return self._host_id
+
+    @property
+    def cpu_cap(self) -> float:
+        """Current credit-scheduler cap (0 while dormant)."""
+        return self._cpu_cap
+
+    def activate(self, host_id: str, cpu_cap: float) -> None:
+        """Bring a dormant VM onto a host with the given cap."""
+        if self._state is not VmState.DORMANT:
+            raise RuntimeError(f"VM {self.vm_id}: activate from {self._state.value}")
+        if cpu_cap <= 0:
+            raise ValueError(f"VM {self.vm_id}: cap must be positive")
+        self._state = VmState.ACTIVE
+        self._host_id = host_id
+        self._cpu_cap = cpu_cap
+
+    def deactivate(self) -> None:
+        """Return the VM to the cold pool."""
+        if self._state is VmState.DORMANT:
+            raise RuntimeError(f"VM {self.vm_id}: already dormant")
+        self._state = VmState.DORMANT
+        self._host_id = None
+        self._cpu_cap = 0.0
+
+    def set_cap(self, cpu_cap: float) -> None:
+        """Adjust the credit-scheduler cap of an active VM."""
+        if self._state is VmState.DORMANT:
+            raise RuntimeError(f"VM {self.vm_id}: cannot cap a dormant VM")
+        if cpu_cap <= 0:
+            raise ValueError(f"VM {self.vm_id}: cap must be positive")
+        self._cpu_cap = cpu_cap
+
+    def begin_migration(self) -> None:
+        """Mark the VM as migrating (still served from the source)."""
+        if self._state is not VmState.ACTIVE:
+            raise RuntimeError(
+                f"VM {self.vm_id}: migrate from {self._state.value}"
+            )
+        self._state = VmState.MIGRATING
+
+    def complete_migration(self, host_id: str) -> None:
+        """Cut over to the destination host."""
+        if self._state is not VmState.MIGRATING:
+            raise RuntimeError(
+                f"VM {self.vm_id}: complete_migration from {self._state.value}"
+            )
+        self._state = VmState.ACTIVE
+        self._host_id = host_id

@@ -1,0 +1,306 @@
+"""System configurations.
+
+A *configuration* (paper §II-A) is the set of VMs in the system, the
+physical machine each one is hosted on, the CPU fraction allocated to
+it, and the set of powered-on hosts.  Configurations are immutable and
+hashable so the A* optimizer can deduplicate search vertices.
+
+A configuration is a *candidate* when it satisfies the allocation
+constraints (paper §IV-B): per host, the VM CPU caps must fit within
+the host share reserved for guests, memory must fit, and the VM count
+must not exceed the per-host limit.  Configurations that violate these
+rules are *intermediate*: legal as search vertices, illegal to deploy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class VmDescriptor:
+    """Static identity of a VM: which application tier replica it runs.
+
+    The descriptor never changes at runtime; placement and CPU cap live
+    in :class:`Configuration`.
+    """
+
+    vm_id: str
+    app_name: str
+    tier_name: str
+    memory_mb: int = 200
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"VM {self.vm_id}: memory must be positive")
+
+
+class VmCatalog:
+    """Immutable registry of every VM (active or dormant) in a scenario."""
+
+    def __init__(self, descriptors: Iterable[VmDescriptor]) -> None:
+        self._by_id: dict[str, VmDescriptor] = {}
+        for descriptor in descriptors:
+            if descriptor.vm_id in self._by_id:
+                raise ValueError(f"duplicate VM id {descriptor.vm_id!r}")
+            self._by_id[descriptor.vm_id] = descriptor
+
+    def __contains__(self, vm_id: str) -> bool:
+        return vm_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[VmDescriptor]:
+        return iter(self._by_id.values())
+
+    def get(self, vm_id: str) -> VmDescriptor:
+        """Descriptor for ``vm_id``; raises ``KeyError`` if unknown."""
+        return self._by_id[vm_id]
+
+    def vm_ids(self) -> tuple[str, ...]:
+        """All VM ids, in insertion order."""
+        return tuple(self._by_id)
+
+    def for_tier(self, app_name: str, tier_name: str) -> tuple[VmDescriptor, ...]:
+        """All VMs (placed or dormant) belonging to one application tier."""
+        return tuple(
+            descriptor
+            for descriptor in self._by_id.values()
+            if descriptor.app_name == app_name
+            and descriptor.tier_name == tier_name
+        )
+
+    def apps(self) -> tuple[str, ...]:
+        """Application names present in the catalog, deduplicated in order."""
+        seen: dict[str, None] = {}
+        for descriptor in self._by_id.values():
+            seen.setdefault(descriptor.app_name, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a VM runs and how much CPU it may use.
+
+    ``cpu_cap`` is a fraction of one host CPU enforced by the (simulated)
+    Xen credit scheduler, e.g. ``0.4`` for a 40% cap.
+    """
+
+    host_id: str
+    cpu_cap: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_cap <= 1.0:
+            raise ValueError(f"cpu_cap must be in (0, 1], got {self.cpu_cap!r}")
+
+    def with_cap(self, cpu_cap: float) -> "Placement":
+        """Same host, different cap."""
+        return Placement(self.host_id, cpu_cap)
+
+    def with_host(self, host_id: str) -> "Placement":
+        """Same cap, different host."""
+        return Placement(host_id, self.cpu_cap)
+
+
+@dataclass(frozen=True)
+class ConstraintLimits:
+    """Per-host allocation constraints (paper §V-A testbed settings)."""
+
+    host_memory_mb: int = 1024
+    dom0_memory_mb: int = 200
+    max_vms_per_host: int = 4
+    max_total_cpu_cap: float = 0.8
+    min_vm_cpu_cap: float = 0.2
+    cpu_cap_step: float = 0.1
+
+    @property
+    def guest_memory_mb(self) -> int:
+        """Memory available to guests after the Dom-0 reservation."""
+        return self.host_memory_mb - self.dom0_memory_mb
+
+    def round_cap(self, cap: float) -> float:
+        """Snap a cap onto the step grid within [min cap, max total]."""
+        steps = round(cap / self.cpu_cap_step)
+        snapped = steps * self.cpu_cap_step
+        snapped = max(self.min_vm_cpu_cap, min(self.max_total_cpu_cap, snapped))
+        return round(snapped, 10)
+
+
+class Configuration:
+    """Immutable assignment of VMs to hosts plus the powered-host set.
+
+    VMs absent from ``placements`` are dormant (parked in the cold pool
+    on the storage side) and consume no managed resources.
+    """
+
+    __slots__ = ("_placements", "_powered", "_items", "_hash")
+
+    def __init__(
+        self,
+        placements: Mapping[str, Placement],
+        powered_hosts: Iterable[str],
+    ) -> None:
+        items = tuple(sorted(placements.items()))
+        powered = frozenset(powered_hosts)
+        for vm_id, placement in items:
+            if placement.host_id not in powered:
+                raise ValueError(
+                    f"VM {vm_id!r} placed on unpowered host {placement.host_id!r}"
+                )
+        object.__setattr__(self, "_placements", dict(items))
+        object.__setattr__(self, "_powered", powered)
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", hash((items, powered)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Configuration is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._items == other._items and self._powered == other._powered
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{vm_id}@{placement.host_id}:{placement.cpu_cap:.0%}"
+            for vm_id, placement in self._items
+        )
+        hosts = ",".join(sorted(self._powered))
+        return f"Configuration([{body}] powered={{{hosts}}})"
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def placements(self) -> Mapping[str, Placement]:
+        """Read-only mapping of vm_id to placement."""
+        return dict(self._placements)
+
+    @property
+    def powered_hosts(self) -> frozenset[str]:
+        """Hosts that are (or should be) powered on."""
+        return self._powered
+
+    def placement_of(self, vm_id: str) -> Optional[Placement]:
+        """Placement of ``vm_id``, or ``None`` if the VM is dormant."""
+        return self._placements.get(vm_id)
+
+    def is_placed(self, vm_id: str) -> bool:
+        """Whether the VM is active (placed on some host)."""
+        return vm_id in self._placements
+
+    def placed_vm_ids(self) -> tuple[str, ...]:
+        """Ids of all active VMs, sorted."""
+        return tuple(vm_id for vm_id, _ in self._items)
+
+    def vms_on_host(self, host_id: str) -> tuple[str, ...]:
+        """Ids of VMs placed on ``host_id``, sorted."""
+        return tuple(
+            vm_id
+            for vm_id, placement in self._items
+            if placement.host_id == host_id
+        )
+
+    def used_hosts(self) -> frozenset[str]:
+        """Hosts that actually carry at least one VM."""
+        return frozenset(placement.host_id for _, placement in self._items)
+
+    def idle_hosts(self) -> frozenset[str]:
+        """Powered hosts carrying no VM (candidates for shutdown)."""
+        return self._powered - self.used_hosts()
+
+    def replica_count(self, catalog: VmCatalog, app_name: str, tier_name: str) -> int:
+        """Number of active replicas of one application tier."""
+        return sum(
+            1
+            for vm_id in self._placements
+            if catalog.get(vm_id).app_name == app_name
+            and catalog.get(vm_id).tier_name == tier_name
+        )
+
+    def host_cpu_load(self, host_id: str) -> float:
+        """Sum of VM CPU caps on a host."""
+        return round(
+            sum(
+                placement.cpu_cap
+                for _, placement in self._items
+                if placement.host_id == host_id
+            ),
+            10,
+        )
+
+    def host_memory_load(self, catalog: VmCatalog, host_id: str) -> int:
+        """Sum of VM memory on a host, in MB (excluding Dom-0)."""
+        return sum(
+            catalog.get(vm_id).memory_mb
+            for vm_id, placement in self._items
+            if placement.host_id == host_id
+        )
+
+    # -- feasibility -------------------------------------------------------
+
+    def violations(
+        self, catalog: VmCatalog, limits: ConstraintLimits
+    ) -> list[str]:
+        """Human-readable list of constraint violations (empty = candidate)."""
+        problems: list[str] = []
+        for host_id in self.used_hosts():
+            cpu = self.host_cpu_load(host_id)
+            if cpu > limits.max_total_cpu_cap + 1e-9:
+                problems.append(
+                    f"host {host_id}: CPU caps sum to {cpu:.2f} > "
+                    f"{limits.max_total_cpu_cap:.2f}"
+                )
+            memory = self.host_memory_load(catalog, host_id)
+            if memory > limits.guest_memory_mb:
+                problems.append(
+                    f"host {host_id}: guest memory {memory} MB > "
+                    f"{limits.guest_memory_mb} MB"
+                )
+            vm_count = len(self.vms_on_host(host_id))
+            if vm_count > limits.max_vms_per_host:
+                problems.append(
+                    f"host {host_id}: {vm_count} VMs > {limits.max_vms_per_host}"
+                )
+        for vm_id, placement in self._items:
+            if placement.cpu_cap < limits.min_vm_cpu_cap - 1e-9:
+                problems.append(
+                    f"VM {vm_id}: cap {placement.cpu_cap:.2f} < "
+                    f"{limits.min_vm_cpu_cap:.2f}"
+                )
+        return problems
+
+    def is_candidate(self, catalog: VmCatalog, limits: ConstraintLimits) -> bool:
+        """Whether the configuration can actually be deployed."""
+        return not self.violations(catalog, limits)
+
+    # -- functional updates -------------------------------------------------
+
+    def replace(self, vm_id: str, placement: Placement) -> "Configuration":
+        """New configuration with one VM's placement changed or added."""
+        placements = dict(self._placements)
+        placements[vm_id] = placement
+        powered = self._powered | {placement.host_id}
+        return Configuration(placements, powered)
+
+    def remove(self, vm_id: str) -> "Configuration":
+        """New configuration with one VM sent back to the dormant pool."""
+        if vm_id not in self._placements:
+            raise KeyError(f"VM {vm_id!r} is not placed")
+        placements = dict(self._placements)
+        del placements[vm_id]
+        return Configuration(placements, self._powered)
+
+    def power_on(self, host_id: str) -> "Configuration":
+        """New configuration with one more powered host."""
+        return Configuration(dict(self._placements), self._powered | {host_id})
+
+    def power_off(self, host_id: str) -> "Configuration":
+        """New configuration with ``host_id`` powered down (must be empty)."""
+        if host_id in self.used_hosts():
+            raise ValueError(f"host {host_id!r} still has VMs")
+        return Configuration(dict(self._placements), self._powered - {host_id})

@@ -1,0 +1,195 @@
+"""The Mistral controller (paper Fig. 2).
+
+One controller owns a workload monitor (bands + ARMA stability-interval
+prediction), the predictor modules (performance, power, cost — bundled
+in the estimator and cost manager), and the Optimal Adaptation Search.
+On every monitoring sample it checks its bands; on an escape it runs
+the search over the predicted control window and emits a decision: the
+action sequence, the decision delay (search duration), and the power
+drawn while deciding.  The testbed executes decisions against the
+cluster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.actions import AdaptationAction
+from repro.core.config import Configuration
+from repro.core.search import AdaptationSearch, SearchOutcome
+from repro.workload.monitor import BandEscape, WorkloadMonitor
+
+
+@dataclass
+class Decision:
+    """One controller decision, ready for execution."""
+
+    time: float
+    controller: str
+    actions: tuple[AdaptationAction, ...]
+    control_window: float
+    decision_seconds: float
+    search_watts: float
+    #: Search details; None for baselines that plan without the A*.
+    outcome: Optional[SearchOutcome]
+    escape: BandEscape
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the controller decided to keep the configuration."""
+        return not self.actions
+
+
+@dataclass
+class ControllerStats:
+    """Bookkeeping for Table I / Fig. 10."""
+
+    invocations: int = 0
+    escapes: int = 0
+    skipped_busy: int = 0
+    decisions: int = 0
+    null_decisions: int = 0
+    actions_issued: int = 0
+    search_seconds: list[float] = field(default_factory=list)
+    expansions: list[int] = field(default_factory=list)
+    wall_seconds: list[float] = field(default_factory=list)
+
+    def mean_search_seconds(self) -> float:
+        """Average decision delay over all searches."""
+        if not self.search_seconds:
+            return 0.0
+        return sum(self.search_seconds) / len(self.search_seconds)
+
+
+class MistralController:
+    """A single Mistral controller instance (one node of the hierarchy)."""
+
+    def __init__(
+        self,
+        name: str,
+        search: AdaptationSearch,
+        monitor: WorkloadMonitor,
+        min_control_window: float = 120.0,
+        utility_history: int = 8,
+    ) -> None:
+        self.name = name
+        self.search = search
+        self.monitor = monitor
+        self.min_control_window = min_control_window
+        self.stats = ControllerStats()
+        self._recent_utilities: deque[float] = deque(maxlen=utility_history)
+        #: Optional online model-feedback calibration (see
+        #: :mod:`repro.core.feedback`); wired by the scenario builder.
+        self.feedback = None
+        #: One-step workload trend extrapolation (Eq. 1 plans for the
+        #: "measured or predicted request rate"): during a ramp, plan
+        #: for where the workload is heading, not where it was when the
+        #: plan started.  Trends below the threshold are treated as
+        #: ripple and ignored.
+        self.trend_extrapolation = True
+        self.trend_threshold = 2.0
+        self._last_workloads: Optional[dict[str, float]] = None
+
+    def record_interval_utility(self, utility: float) -> None:
+        """Feed the measured utility of one monitoring interval.
+
+        The self-aware search's expected-utility budget ``UH`` is the
+        lowest of these recent measurements (a pessimistic estimate,
+        paper §IV-B).
+        """
+        self._recent_utilities.append(utility)
+
+    def record_measurements(
+        self,
+        workloads: Mapping[str, float],
+        measured_response_times: Mapping[str, float],
+        configuration: Configuration,
+    ) -> None:
+        """Feed one interval's measured response times to the feedback
+        loop, against the model's prediction for the same state."""
+        if self.feedback is None:
+            return
+        predicted = self.search.estimator.estimate(
+            configuration, dict(workloads)
+        ).response_times
+        self.feedback.observe(measured_response_times, predicted)
+
+    def _planning_workloads(
+        self, workloads: dict[str, float]
+    ) -> dict[str, float]:
+        """Workloads to plan for: extrapolate strong monotone trends."""
+        if not self.trend_extrapolation or self._last_workloads is None:
+            return workloads
+        planned = {}
+        for app, rate in workloads.items():
+            trend = rate - self._last_workloads.get(app, rate)
+            if abs(trend) > self.trend_threshold:
+                planned[app] = min(100.0, max(0.0, rate + trend))
+            else:
+                planned[app] = rate
+        return planned
+
+    def expected_utility(self, control_window: float) -> Optional[float]:
+        """Pessimistic expected utility over a control window."""
+        if not self._recent_utilities:
+            return None
+        per_interval = min(self._recent_utilities)
+        interval = self.search.estimator.utility.parameters.monitoring_interval
+        return per_interval * control_window / interval
+
+    def on_sample(
+        self,
+        now: float,
+        workloads: Mapping[str, float],
+        configuration: Configuration,
+        busy: bool = False,
+    ) -> Optional[Decision]:
+        """Process one monitoring sample; maybe return a decision.
+
+        ``busy`` indicates an adaptation plan is already executing, in
+        which case the controller re-centers its bands but does not
+        search (the system is mid-transition and estimates would be
+        stale).
+        """
+        self.stats.invocations += 1
+        escape = self.monitor.observe(now, workloads)
+        planning_workloads = self._planning_workloads(dict(workloads))
+        self._last_workloads = dict(workloads)
+        if escape is None:
+            return None
+        self.stats.escapes += 1
+        if busy:
+            self.stats.skipped_busy += 1
+            return None
+
+        window = max(escape.estimated_next_interval, self.min_control_window)
+        expected = self.expected_utility(window)
+        expected_rate = (
+            expected / window if expected is not None else None
+        )
+        outcome = self.search.search(
+            configuration,
+            planning_workloads,
+            control_window=window,
+            expected_utility=expected,
+            expected_rate=expected_rate,
+        )
+        self.stats.decisions += 1
+        self.stats.search_seconds.append(outcome.decision_seconds)
+        self.stats.expansions.append(outcome.expansions)
+        self.stats.wall_seconds.append(outcome.wall_seconds)
+        if outcome.is_null:
+            self.stats.null_decisions += 1
+        self.stats.actions_issued += len(outcome.actions)
+        return Decision(
+            time=now,
+            controller=self.name,
+            actions=outcome.actions,
+            control_window=window,
+            decision_seconds=outcome.decision_seconds,
+            search_watts=self.search.settings.search_watts_delta,
+            outcome=outcome,
+            escape=escape,
+        )

@@ -1,0 +1,162 @@
+"""Shared utility estimation for the optimizers (Fig. 2's predictors).
+
+Bundles the Performance Manager (LQN solver), the Power Consolidation
+Manager (power model), and the utility model into one cached evaluator:
+given a configuration and workload it returns the steady-state utility
+accrual rates the optimizers compare.  Results are memoized per
+(configuration, workload) because the A* search revisits
+configurations heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.config import Configuration, VmCatalog
+from repro.core.utility import UtilityModel
+from repro.perfmodel.solver import LqnSolver
+from repro.power.model import SystemPowerModel
+
+
+@dataclass(frozen=True)
+class SteadyEstimate:
+    """Predicted steady-state behaviour of one configuration."""
+
+    response_times: Mapping[str, float]
+    watts: float
+    perf_rate: float
+    power_rate: float
+    app_perf_rates: Mapping[str, float]
+    #: Total CPU actually burned by VMs (utilization x cap, summed).
+    busy_cpu: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "response_times", dict(self.response_times))
+        object.__setattr__(self, "app_perf_rates", dict(self.app_perf_rates))
+
+    @property
+    def total_rate(self) -> float:
+        """Net utility accrual rate (performance plus negative power)."""
+        return self.perf_rate + self.power_rate
+
+
+class UtilityEstimator:
+    """Cached (configuration, workload) -> utility-rate evaluation."""
+
+    def __init__(
+        self,
+        solver: LqnSolver,
+        power_models: SystemPowerModel,
+        utility: UtilityModel,
+        catalog: VmCatalog,
+        cache_size: int = 200_000,
+    ) -> None:
+        self.solver = solver
+        self.power_models = power_models
+        self.utility = utility
+        self.catalog = catalog
+        self._cache: dict[tuple, SteadyEstimate] = {}
+        self._cache_size = cache_size
+        self.evaluations = 0
+
+    def _key(
+        self, configuration: Configuration, workloads: Mapping[str, float]
+    ) -> tuple:
+        return (configuration, tuple(sorted(workloads.items())))
+
+    def estimate(
+        self, configuration: Configuration, workloads: Mapping[str, float]
+    ) -> SteadyEstimate:
+        """Steady-state utility rates of a configuration under a workload."""
+        key = self._key(configuration, workloads)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        self.evaluations += 1
+        performance = self.solver.solve(configuration, workloads)
+        watts = self.power_models.total_watts(
+            configuration.powered_hosts, performance.host_utilizations
+        )
+        app_rates = {
+            app: self.utility.perf_utility_rate(
+                app, rate, performance.response_times[app]
+            )
+            for app, rate in workloads.items()
+        }
+        busy_cpu = 0.0
+        for vm_id, rho in performance.vm_utilizations.items():
+            placement = configuration.placement_of(vm_id)
+            if placement is not None:
+                busy_cpu += min(rho, 1.0) * placement.cpu_cap
+        estimate = SteadyEstimate(
+            response_times=performance.response_times,
+            watts=watts,
+            perf_rate=sum(app_rates.values()),
+            power_rate=self.utility.power_utility_rate(watts),
+            app_perf_rates=app_rates,
+            busy_cpu=busy_cpu,
+        )
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[key] = estimate
+        return estimate
+
+    def transient_rates(
+        self,
+        base: SteadyEstimate,
+        workloads: Mapping[str, float],
+        rt_delta: Mapping[str, float],
+        power_delta_watts: float,
+    ) -> tuple[float, float]:
+        """Utility rates while an action with the given deltas executes.
+
+        ``base`` is the steady estimate of the configuration the action
+        starts from; the deltas come from the Cost Manager.
+        """
+        perf_rate = 0.0
+        for app, rate in workloads.items():
+            response_time = base.response_times[app] + rt_delta.get(app, 0.0)
+            perf_rate += self.utility.perf_utility_rate(
+                app, rate, response_time
+            )
+        power_rate = self.utility.power_utility_rate(
+            base.watts + power_delta_watts
+        )
+        return perf_rate, power_rate
+
+    def clear_cache(self) -> None:
+        """Drop all memoized evaluations."""
+        self._cache.clear()
+
+
+class FeedbackUtilityEstimator(UtilityEstimator):
+    """Estimator whose utility consults a :class:`ModelFeedback`.
+
+    The feedback's version is part of the memoization key so cached
+    estimates are invalidated whenever the bias estimates move.
+    """
+
+    def __init__(self, feedback, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.feedback = feedback
+
+    def _key(self, configuration, workloads) -> tuple:
+        return (
+            configuration,
+            tuple(sorted(workloads.items())),
+            self.feedback.version,
+        )
+
+
+def estimator_for(
+    catalog: VmCatalog,
+    solver: LqnSolver,
+    power_models: SystemPowerModel,
+    utility: Optional[UtilityModel] = None,
+) -> UtilityEstimator:
+    """Convenience constructor with a default utility model."""
+    return UtilityEstimator(
+        solver, power_models, utility or UtilityModel(), catalog
+    )

@@ -1,0 +1,431 @@
+"""The Perf-Pwr optimizer (paper §IV-A).
+
+Finds the configuration that optimally trades performance utility
+against power cost for a given workload while ignoring transient
+adaptation costs.  Its output plays three roles: (1) the "ideal
+configuration" ``c*`` and "ideal utility" ``U*`` used as the admissible
+A* heuristic, (2) the Perf-Pwr baseline controller of §V-C, and (3)
+(in a constrained variant) the capacity oracle of the Pwr-Cost
+baseline.
+
+Algorithm: for a decreasing number of available hosts, start from
+maximum capacities/replication, attempt worst-fit-decreasing bin
+packing, and — while packing fails — run a gradient search that either
+shaves one VM's cap by a step or drops one replica, choosing the
+candidate with the best ratio of CPU utilization reduction to
+performance-utility loss; each successful packing yields a potential
+optimum whose overall utility rate (performance + power) is compared
+across host counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.apps.application import ApplicationSet
+from repro.core.config import (
+    Configuration,
+    ConstraintLimits,
+    Placement,
+    VmCatalog,
+)
+from repro.core.estimator import SteadyEstimate, UtilityEstimator
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Capacity vector during gradient search: active VMs and caps."""
+
+    caps: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "caps", dict(self.caps))
+
+    def total_cap(self) -> float:
+        """Sum of all VM caps."""
+        return sum(self.caps.values())
+
+    def reduce_cap(self, vm_id: str, step: float) -> "CapacityPlan":
+        """One step smaller cap for one VM."""
+        caps = dict(self.caps)
+        caps[vm_id] = round(caps[vm_id] - step, 10)
+        return CapacityPlan(caps)
+
+    def drop_vm(self, vm_id: str) -> "CapacityPlan":
+        """Remove one replica."""
+        caps = dict(self.caps)
+        del caps[vm_id]
+        return CapacityPlan(caps)
+
+
+@dataclass
+class PerfPwrResult:
+    """Output of the Perf-Pwr optimizer."""
+
+    configuration: Configuration
+    perf_rate: float
+    power_rate: float
+    estimate: SteadyEstimate
+    hosts_used: int
+    evaluations: int
+    #: The per-host-count potential optima the winner was chosen from
+    #: (including the winner itself); useful as partial-adaptation
+    #: targets when a full transition would not fit a control window.
+    alternatives: list["PerfPwrResult"] = field(default_factory=list)
+
+    @property
+    def ideal_rate(self) -> float:
+        """The ideal utility accrual rate U* (performance + power)."""
+        return self.perf_rate + self.power_rate
+
+
+class PerfPwrOptimizer:
+    """Optimal performance-power tradeoff, adaptation costs ignored."""
+
+    def __init__(
+        self,
+        applications: ApplicationSet,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+        estimator: UtilityEstimator,
+        host_ids: Sequence[str],
+        max_vm_cap: Optional[float] = None,
+        min_cap_for_target: bool = False,
+        consider_minimal_candidate: bool = True,
+    ) -> None:
+        """``min_cap_for_target=True`` is the Pwr-Cost variant: the
+        gradient search refuses candidates that push any application
+        over its target response time (paper §V-C).
+
+        ``consider_minimal_candidate=False`` runs the paper's plain
+        gradient algorithm; the default additionally evaluates the
+        target-meeting minimal capacities at each host count (an
+        enhancement that tightens the ideal used as Mistral's
+        heuristic — see DESIGN.md)."""
+        if not host_ids:
+            raise ValueError("optimizer needs at least one host")
+        self.applications = applications
+        self.catalog = catalog
+        self.limits = limits
+        self.estimator = estimator
+        self.host_ids = tuple(host_ids)
+        self.max_vm_cap = max_vm_cap or limits.max_total_cpu_cap
+        self.min_cap_for_target = min_cap_for_target
+        self.consider_minimal_candidate = consider_minimal_candidate
+        self._quality_cache: dict[tuple, tuple[float, float, dict[str, float]]] = {}
+        self._result_cache: dict[tuple, PerfPwrResult] = {}
+        self._minimal_cache: dict[tuple, CapacityPlan] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def optimize(self, workloads: Mapping[str, float]) -> PerfPwrResult:
+        """Best configuration for ``workloads`` over all host counts.
+
+        Results are memoized per workload vector: within one monitoring
+        interval every controller level consults the same ideal.
+        """
+        memo_key = tuple(sorted(workloads.items()))
+        memoized = self._result_cache.get(memo_key)
+        if memoized is not None:
+            return memoized
+        start_evaluations = self.estimator.evaluations
+        results: list[PerfPwrResult] = []
+        plan = self._max_plan()
+        min_hosts = self._min_hosts()
+        # The target-meeting minimum is a second candidate per host
+        # count: the gradient path shrinks monotonically across host
+        # counts and can overshoot past configurations that still meet
+        # every target on fewer hosts.
+        minimal_plan = (
+            self.minimal_capacities(workloads)
+            if self.consider_minimal_candidate
+            else None
+        )
+        for host_count in range(len(self.host_ids), min_hosts - 1, -1):
+            hosts = self.host_ids[:host_count]
+            candidates: list[Configuration] = []
+            packed, plan = self._search_for_hosts(plan, hosts, workloads)
+            if packed is not None:
+                candidates.append(packed)
+            if minimal_plan is not None:
+                packed_minimal = self._pack(minimal_plan, hosts)
+                if packed_minimal is not None:
+                    candidates.append(packed_minimal)
+            best_for_count: Optional[PerfPwrResult] = None
+            for candidate in candidates:
+                estimate = self.estimator.estimate(candidate, workloads)
+                result = PerfPwrResult(
+                    configuration=candidate,
+                    perf_rate=estimate.perf_rate,
+                    power_rate=estimate.power_rate,
+                    estimate=estimate,
+                    hosts_used=len(candidate.powered_hosts),
+                    evaluations=0,
+                )
+                if (
+                    best_for_count is None
+                    or result.ideal_rate > best_for_count.ideal_rate
+                ):
+                    best_for_count = result
+            if best_for_count is not None:
+                results.append(best_for_count)
+        if not results:
+            raise RuntimeError(
+                "Perf-Pwr could not pack even minimal capacities; "
+                "the host pool is too small for the application set"
+            )
+        best = max(results, key=lambda result: result.ideal_rate)
+        best.alternatives = results
+        best.evaluations = self.estimator.evaluations - start_evaluations
+        if len(self._result_cache) > 5000:
+            self._result_cache.clear()
+        self._result_cache[memo_key] = best
+        return best
+
+    def minimal_capacities(self, workloads: Mapping[str, float]) -> CapacityPlan:
+        """Smallest capacity plan that still meets every target (§V-C).
+
+        The Pwr-Cost baseline's oracle: the paper modifies the Perf-Pwr
+        optimizer "so that it will not reduce the VM sizes below the
+        capacity needed to meet the target response times".  Starting
+        from maximum capacities, reductions are applied greedily while
+        all applications stay at or under their target response time.
+        """
+        memo_key = tuple(sorted(workloads.items()))
+        memoized = self._minimal_cache.get(memo_key)
+        if memoized is not None:
+            return memoized
+        plan = self._max_plan()
+        while True:
+            best_candidate: Optional[CapacityPlan] = None
+            best_total = plan.total_cap()
+            for candidate in self._candidates(plan):
+                _, _, response_times = self._plan_quality(candidate, workloads)
+                if not self._meets_targets(response_times, workloads):
+                    continue
+                total = candidate.total_cap()
+                if total < best_total - 1e-9:
+                    best_total = total
+                    best_candidate = candidate
+            if best_candidate is None:
+                if len(self._minimal_cache) > 5000:
+                    self._minimal_cache.clear()
+                self._minimal_cache[memo_key] = plan
+                return plan
+            plan = best_candidate
+
+    # -- capacity plans -------------------------------------------------------
+
+    def _max_plan(self) -> CapacityPlan:
+        """All replica slots active at the maximum per-VM cap."""
+        caps = {
+            descriptor.vm_id: self.max_vm_cap for descriptor in self.catalog
+        }
+        return CapacityPlan(caps)
+
+    def _min_hosts(self) -> int:
+        """Smallest host count that can hold minimum capacities."""
+        min_vms = sum(
+            tier.min_replicas
+            for app in self.applications
+            for tier in app.tiers
+        )
+        by_cpu = math.ceil(
+            min_vms * self.limits.min_vm_cpu_cap / self.limits.max_total_cpu_cap
+        )
+        by_count = math.ceil(min_vms / self.limits.max_vms_per_host)
+        return max(1, by_cpu, by_count)
+
+    def _replica_counts(self, plan: CapacityPlan) -> dict[tuple[str, str], int]:
+        counts: dict[tuple[str, str], int] = {}
+        for vm_id in plan.caps:
+            descriptor = self.catalog.get(vm_id)
+            key = (descriptor.app_name, descriptor.tier_name)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _pseudo_config(self, plan: CapacityPlan) -> Configuration:
+        """Placement-free evaluation: each VM on its own pseudo host.
+
+        Response times depend only on caps, so performance utility of a
+        capacity plan can be estimated before any packing succeeds.
+        """
+        placements = {
+            vm_id: Placement(f"pseudo-{vm_id}", cap)
+            for vm_id, cap in plan.caps.items()
+        }
+        hosts = frozenset(placement.host_id for placement in placements.values())
+        return Configuration(placements, hosts)
+
+    def _plan_quality(
+        self, plan: CapacityPlan, workloads: Mapping[str, float]
+    ) -> tuple[float, float, dict[str, float]]:
+        """(busy CPU, performance utility rate, response times) of a plan.
+
+        Placement-free: power is not evaluated here (it needs a real
+        packing), only the performance side of the gradient.
+        """
+        key = (tuple(sorted(plan.caps.items())), tuple(sorted(workloads.items())))
+        cached = self._quality_cache.get(key)
+        if cached is not None:
+            return cached
+        pseudo = self._pseudo_config(plan)
+        performance = self.estimator.solver.solve(pseudo, workloads)
+        utility = self.estimator.utility
+        perf_rate = sum(
+            utility.perf_utility_rate(
+                app, rate, performance.response_times[app]
+            )
+            for app, rate in workloads.items()
+        )
+        busy = sum(
+            min(rho, 1.0) * plan.caps[vm_id]
+            for vm_id, rho in performance.vm_utilizations.items()
+        )
+        result = (busy, perf_rate, dict(performance.response_times))
+        if len(self._quality_cache) > 100_000:
+            self._quality_cache.clear()
+        self._quality_cache[key] = result
+        return result
+
+    def _meets_targets(
+        self,
+        response_times: Mapping[str, float],
+        workloads: Mapping[str, float],
+    ) -> bool:
+        utility = self.estimator.utility
+        return all(
+            response_times[app] <= utility.target_response_time(app, rate)
+            for app, rate in workloads.items()
+        )
+
+    # -- gradient search ---------------------------------------------------------
+
+    def _candidates(self, plan: CapacityPlan) -> list[CapacityPlan]:
+        """One-step reductions: shave a cap or drop a replica."""
+        step = self.limits.cpu_cap_step
+        minimum = self.limits.min_vm_cpu_cap
+        counts = self._replica_counts(plan)
+        candidates: list[CapacityPlan] = []
+        for vm_id, cap in plan.caps.items():
+            if cap - step >= minimum - 1e-9:
+                candidates.append(plan.reduce_cap(vm_id, step))
+        for (app_name, tier_name), count in counts.items():
+            tier = self.applications.get(app_name).tier(tier_name)
+            if count > tier.min_replicas:
+                # Drop the highest-numbered active replica of the tier.
+                replicas = sorted(
+                    vm_id
+                    for vm_id in plan.caps
+                    if self.catalog.get(vm_id).app_name == app_name
+                    and self.catalog.get(vm_id).tier_name == tier_name
+                )
+                candidates.append(plan.drop_vm(replicas[-1]))
+        return candidates
+
+    def _search_for_hosts(
+        self,
+        plan: CapacityPlan,
+        hosts: Sequence[str],
+        workloads: Mapping[str, float],
+    ) -> tuple[Optional[Configuration], CapacityPlan]:
+        """Shrink ``plan`` until it packs on ``hosts`` (or give up).
+
+        Returns the packed configuration (or None) and the final plan,
+        which seeds the next, smaller host count — matching the paper's
+        iterative host-count reduction.
+        """
+        current = plan
+        busy, perf_rate, _ = self._plan_quality(current, workloads)
+        while True:
+            packed = self._pack(current, hosts)
+            if packed is not None:
+                return packed, current
+            candidates = self._candidates(current)
+            if self.min_cap_for_target:
+                kept = []
+                for candidate in candidates:
+                    _, _, cand_rts = self._plan_quality(candidate, workloads)
+                    if self._meets_targets(cand_rts, workloads):
+                        kept.append(candidate)
+                candidates = kept
+            if not candidates:
+                return None, current
+            best_candidate = None
+            best_key: tuple[float, float] = (-math.inf, -math.inf)
+            for candidate in candidates:
+                cand_busy, cand_perf, _ = self._plan_quality(
+                    candidate, workloads
+                )
+                delta_busy = cand_busy - busy
+                delta_perf = cand_perf - perf_rate
+                if delta_perf >= 0:
+                    # Free (or beneficial) reduction: always preferred;
+                    # break ties by the larger CPU reduction.
+                    key = (math.inf, -delta_busy + delta_perf * 1e6)
+                elif delta_busy < 0:
+                    key = (delta_busy / delta_perf, -delta_busy)
+                else:
+                    key = (-math.inf, delta_busy)
+                if key > best_key:
+                    best_key = key
+                    best_candidate = candidate
+            assert best_candidate is not None
+            current = best_candidate
+            busy, perf_rate, _ = self._plan_quality(current, workloads)
+
+    # -- bin packing -------------------------------------------------------------
+
+    def _pack(
+        self, plan: CapacityPlan, hosts: Sequence[str]
+    ) -> Optional[Configuration]:
+        """Worst-fit-decreasing packing of the plan onto ``hosts``.
+
+        Follows the paper: place each VM on the used host with the
+        largest remaining space; open a new (empty) host only when no
+        used host fits.  Fails (returns ``None``) when a VM fits
+        nowhere.
+        """
+        limits = self.limits
+        order = sorted(
+            plan.caps.items(), key=lambda item: (-item[1], item[0])
+        )
+        cpu_left = {host: limits.max_total_cpu_cap for host in hosts}
+        memory_left = {host: limits.guest_memory_mb for host in hosts}
+        slots_left = {host: limits.max_vms_per_host for host in hosts}
+        used: list[str] = []
+        placements: dict[str, Placement] = {}
+
+        def fits(host: str, vm_id: str, cap: float) -> bool:
+            descriptor = self.catalog.get(vm_id)
+            return (
+                cpu_left[host] + 1e-9 >= cap
+                and memory_left[host] >= descriptor.memory_mb
+                and slots_left[host] >= 1
+            )
+
+        for vm_id, cap in order:
+            candidates = [host for host in used if fits(host, vm_id, cap)]
+            if candidates:
+                host = max(candidates, key=lambda h: (cpu_left[h], h))
+            else:
+                unused = [
+                    host
+                    for host in hosts
+                    if host not in used and fits(host, vm_id, cap)
+                ]
+                if not unused:
+                    return None
+                host = unused[0]
+                used.append(host)
+            descriptor = self.catalog.get(vm_id)
+            cpu_left[host] = round(cpu_left[host] - cap, 10)
+            memory_left[host] -= descriptor.memory_mb
+            slots_left[host] -= 1
+            placements[vm_id] = Placement(host, cap)
+
+        return Configuration(placements, frozenset(used))

@@ -1,0 +1,820 @@
+"""The holistic optimization search (paper §IV-B, Algorithm 1).
+
+Vertices are configurations, edges are adaptation actions, and the
+search maximizes Eq. 3's overall utility over the control window: each
+edge accrues ``d(a) * (U_RT(c, a) + U_pwr(c, a))`` — the transient
+utility rates while the action runs, predicted by the Cost Manager —
+and a vertex's priority is that accrued value plus a *cost-to-go* term.
+For intermediate (constraint-violating) configurations the cost-to-go
+is the ideal utility rate ``U*`` from the Perf-Pwr optimizer over the
+remaining window — an over-estimate, hence an admissible heuristic —
+while candidate configurations use their own estimated steady rate.
+Popping a terminal ("null"-action) vertex therefore proves optimality.
+
+The **Self-Aware** variant additionally meters the cost of deciding:
+virtual search time ``T`` (expansions x per-vertex evaluation time),
+the utility the *current* configuration accrues while the search runs
+(``UT``), and the search's own power draw (``UpwrT``).  When the search
+cost exhausts the expected utility ``UH`` or ``T`` exceeds the delay
+threshold (5% of the control window), each expansion is pruned to the
+top 5% of children by weighted-Euclidean distance to the ideal
+configuration ``c*``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.apps.application import ApplicationSet
+from repro.core.actions import (
+    ActionError,
+    AdaptationAction,
+    AddReplica,
+    DecreaseCpu,
+    IncreaseCpu,
+    MigrateVm,
+    NullAction,
+    PowerOffHost,
+    PowerOnHost,
+    RemoveReplica,
+)
+from repro.core.config import (
+    Configuration,
+    ConstraintLimits,
+    Placement,
+    VmCatalog,
+)
+from repro.core.estimator import UtilityEstimator
+from repro.core.perf_pwr import PerfPwrOptimizer, PerfPwrResult
+from repro.core.planner import plan_transition
+from repro.costmodel.manager import CostManager
+
+#: All action families the search may use.
+ALL_ACTION_KINDS: frozenset[str] = frozenset(
+    {
+        "increase_cpu",
+        "decrease_cpu",
+        "migrate",
+        "add_replica",
+        "remove_replica",
+        "power_on",
+        "power_off",
+    }
+)
+
+#: The cheap, local actions available to 1st-level controllers.
+LOCAL_ACTION_KINDS: frozenset[str] = frozenset(
+    {"increase_cpu", "decrease_cpu", "migrate"}
+)
+
+
+@dataclass(frozen=True)
+class SearchSettings:
+    """Tuning knobs of the adaptation search."""
+
+    #: Self-aware variant (search-cost accounting + pruning) vs naive A*.
+    self_aware: bool = True
+    #: Fraction of children kept once pruning activates (paper: top 5%).
+    prune_fraction: float = 0.05
+    #: Delay threshold as a fraction of the control window (paper: 5%).
+    delay_threshold_fraction: float = 0.05
+    #: The self-aware search commits to its best incumbent once the
+    #: (virtual) search time exceeds this multiple of the delay
+    #: threshold — pruning alone bounds width, this bounds depth.
+    hard_stop_factor: float = 3.0
+    #: Virtual decision-time accounting, in seconds: a fixed overhead
+    #: per vertex expansion, a small charge per child configuration
+    #: generated (apply + distance), and a larger charge per child
+    #: fully evaluated (cost prediction + utility estimation).  Search
+    #: durations are thus deterministic, platform-independent, and grow
+    #: with the branching factor — which is how the naive search's
+    #: duration blows up with system size (Table I) while the pruned
+    #: self-aware search, which skips the evaluation of pruned
+    #: children, stays nearly linear.
+    per_vertex_seconds: float = 0.004
+    per_child_apply_seconds: float = 0.0002
+    per_child_eval_seconds: float = 0.0008
+    #: Extra watts the controller host draws while searching (Fig. 10a:
+    #: up to ~12% over a 60 W idle draw).
+    search_watts_delta: float = 7.2
+    #: Hard safety cap on expansions (returns best candidate so far).
+    max_expansions: int = 4000
+    #: Action families this controller may use.
+    allowed_kinds: frozenset[str] = ALL_ACTION_KINDS
+    #: CPU cap of newly added replicas.
+    replica_cap: float = 0.2
+    #: Safety cap on plan length (vertices deeper than this are not
+    #: expanded further; they can still terminate as candidates).  Must
+    #: exceed the longest useful reconfiguration (a full consolidation
+    #: of ~20 VMs runs to roughly 30 actions including cap steps).
+    max_plan_actions: int = 48
+    #: Seed the open set with the direct transition plan to the ideal
+    #: configuration (and its prefixes) before searching.
+    seed_with_plan: bool = True
+    #: Fraction of the (ideal - current) rate gap the cost-to-go is
+    #: priced at.  0.5 is the trapezoidal estimate: the accrual rate
+    #: improves from the current rate toward the ideal rate as the
+    #: adaptation progresses, so pricing the remaining distance at the
+    #: full initial gap would over-penalize partially adapted
+    #: configurations and hide profitable partial plans.
+    togo_discount: float = 0.5
+    #: Weight of the distance-to-ideal guidance potential subtracted
+    #: from the priority of *intermediate* vertices (terminals keep
+    #: their true utility).  The admissible bound alone makes the
+    #: search behave like Dijkstra over near-zero-cost cap-tuning edges
+    #: — the exponential blowup the paper reports for the naive variant
+    #: — so intermediates far from the ideal configuration are deflated
+    #: by ``weight * remaining_window * |U*| * distance``, steering
+    #: expansion toward the ideal while committing (terminal pops) only
+    #: when a candidate's true Eq. 3 utility beats every deflated
+    #: bound.  0 recovers the strictly admissible (naive) ordering.
+    guidance_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prune_fraction <= 1.0:
+            raise ValueError("prune_fraction must be in (0, 1]")
+        if self.per_vertex_seconds <= 0:
+            raise ValueError("per_vertex_seconds must be positive")
+        if self.max_expansions < 1:
+            raise ValueError("max_expansions must be >= 1")
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one adaptation search."""
+
+    actions: tuple[AdaptationAction, ...]
+    final_configuration: Configuration
+    predicted_utility: float
+    ideal: PerfPwrResult
+    expansions: int
+    decision_seconds: float
+    wall_seconds: float
+    pruning_activated: bool
+    optimal: bool
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the search decided to keep the current configuration."""
+        return not self.actions
+
+
+@dataclass
+class _Vertex:
+    """One search vertex."""
+
+    configuration: Configuration
+    actions: tuple[AdaptationAction, ...]
+    accrued: float  # sum of d(a) * transient utility rate
+    elapsed: float  # sum of action durations D
+    utility: float = 0.0  # true value: bound (intermediate) or Eq. 3 (terminal)
+    priority: float = 0.0  # heap ordering: utility minus guidance potential
+    distance: float = 0.0  # weighted-Euclidean distance to the ideal config
+    terminal: bool = False
+    is_candidate: bool = False
+
+
+class AdaptationSearch:
+    """Naive / Self-Aware A* over the configuration graph."""
+
+    def __init__(
+        self,
+        applications: ApplicationSet,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+        estimator: UtilityEstimator,
+        cost_manager: CostManager,
+        perf_pwr: PerfPwrOptimizer,
+        host_ids: Sequence[str],
+        settings: Optional[SearchSettings] = None,
+    ) -> None:
+        self.applications = applications
+        self.catalog = catalog
+        self.limits = limits
+        self.estimator = estimator
+        self.cost_manager = cost_manager
+        self.perf_pwr = perf_pwr
+        self.host_ids = tuple(host_ids)
+        self.settings = settings or SearchSettings()
+        #: When set, the search only acts on VMs placed on (and only
+        #: migrates to) these hosts — the 1st-level controller scoping
+        #: of the paper's hierarchy.  The ideal configuration is then
+        #: projected onto the scope: out-of-scope VMs stay pinned.
+        self.scope_hosts: Optional[frozenset[str]] = None
+
+    # -- public API -----------------------------------------------------------
+
+    def search(
+        self,
+        current: Configuration,
+        workloads: Mapping[str, float],
+        control_window: float,
+        expected_utility: Optional[float] = None,
+        expected_rate: Optional[float] = None,
+    ) -> SearchOutcome:
+        """Find the action sequence maximizing Eq. 3 over the window.
+
+        ``expected_utility``/``expected_rate`` seed the self-aware
+        budget ``UH`` (the paper uses the lowest of recent utilities);
+        they default to the ideal utility over the window.
+        """
+        wall_start = time.perf_counter()
+        settings = self.settings
+        ideal = self.perf_pwr.optimize(workloads)
+        if self.scope_hosts is not None:
+            ideal = self._project_ideal(current, ideal, workloads)
+        ideal_rate = ideal.ideal_rate
+        window = max(control_window, 0.0)
+
+        current_estimate = self.estimator.estimate(current, workloads)
+        current_rate = current_estimate.total_rate
+
+        if ideal.configuration == current:
+            return SearchOutcome(
+                actions=(),
+                final_configuration=current,
+                predicted_utility=window * current_rate,
+                ideal=ideal,
+                expansions=0,
+                decision_seconds=settings.per_vertex_seconds,
+                wall_seconds=time.perf_counter() - wall_start,
+                pruning_activated=False,
+                optimal=True,
+            )
+
+        ideal_weights, ideal_caps = self._ideal_distance_basis(ideal)
+
+        def vertex_distance(configuration: Configuration) -> float:
+            return self._distance(
+                configuration, ideal_caps, ideal_weights, ideal
+            )
+
+        # Guidance potential: estimated seconds of adaptation still
+        # needed to reach the ideal configuration, priced at the gap
+        # between the ideal rate and the rate accrued while adapting.
+        # This tightens the cost-to-go of intermediates (the raw ideal
+        # bound assumes instant, free adaptation) so the search
+        # converges instead of flooding the near-zero-cost frontier.
+        action_durations = self._togo_durations(workloads)
+        rate_gap = settings.togo_discount * max(
+            ideal_rate - current_rate, 0.1 * abs(ideal_rate), 1e-9
+        )
+
+        def togo_penalty(configuration: Configuration) -> float:
+            seconds = self._togo_seconds(
+                configuration, ideal.configuration, action_durations
+            )
+            return settings.guidance_weight * seconds * rate_gap
+
+        # -- self-aware bookkeeping (Algorithm 1's T, UT, UpwrT, UH) --
+        budget = (
+            expected_utility
+            if expected_utility is not None
+            else window * ideal_rate
+        )
+        budget_rate = expected_rate if expected_rate is not None else ideal_rate
+        search_power_rate = -self.estimator.utility.power_utility_rate(
+            settings.search_watts_delta
+        )
+        elapsed_search = 0.0
+        accrued_current = 0.0
+        accrued_search_power = 0.0
+        pruning = False
+        delay_threshold = settings.delay_threshold_fraction * window
+
+        def bound(vertex: _Vertex) -> float:
+            remaining = max(0.0, window - vertex.elapsed)
+            return remaining * ideal_rate + vertex.accrued
+
+        def candidate_value(vertex: _Vertex) -> float:
+            remaining = max(0.0, window - vertex.elapsed)
+            steady = self.estimator.estimate(vertex.configuration, workloads)
+            return remaining * steady.total_rate + vertex.accrued
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Vertex]] = []
+        best_priority: dict[tuple[Configuration, bool], float] = {}
+        best_terminal: Optional[_Vertex] = None
+
+        def push(vertex: _Vertex) -> None:
+            nonlocal best_terminal
+            key = (vertex.configuration, vertex.terminal)
+            known = best_priority.get(key)
+            if known is not None and known >= vertex.priority - 1e-12:
+                return
+            best_priority[key] = vertex.priority
+            # Ties break toward deeper vertices (then recency) so plans
+            # complete instead of re-exploring orderings of the same
+            # commuting actions.
+            heapq.heappush(
+                heap,
+                (-vertex.priority, -len(vertex.actions), -next(counter), vertex),
+            )
+            if vertex.terminal and (
+                best_terminal is None or vertex.utility > best_terminal.utility
+            ):
+                best_terminal = vertex
+
+        def finalize(vertex: _Vertex) -> None:
+            """Set priority: intermediates pay the guidance potential.
+
+            The potential is a *constant* per configuration (it must not
+            depend on the path's elapsed time, or cycles of cheap
+            actions could raise their own priority by shrinking the
+            remaining window).
+            """
+            if vertex.terminal:
+                vertex.priority = vertex.utility
+            else:
+                vertex.priority = vertex.utility - togo_penalty(
+                    vertex.configuration
+                )
+
+        def build_child(
+            parent: _Vertex, action: AdaptationAction
+        ) -> Optional[_Vertex]:
+            """Child vertex for one action, or None if inapplicable."""
+            try:
+                new_config = action.apply(
+                    parent.configuration, self.catalog, self.limits
+                )
+            except ActionError:
+                return None
+            predicted = self.cost_manager.predict(
+                action, parent.configuration, workloads
+            )
+            parent_steady = self.estimator.estimate(
+                parent.configuration, workloads
+            )
+            perf_rate, power_rate = self.estimator.transient_rates(
+                parent_steady,
+                workloads,
+                predicted.rt_delta,
+                predicted.power_delta_watts,
+            )
+            # Accrual is truncated at the window's end and capped at the
+            # ideal rate: otherwise plans longer than the window (or
+            # transient rates above the heuristic) would make cyclic
+            # action sequences look profitable.
+            effective = min(
+                predicted.duration, max(0.0, window - parent.elapsed)
+            )
+            transient_rate = min(perf_rate + power_rate, ideal_rate)
+            child = _Vertex(
+                configuration=new_config,
+                actions=parent.actions + (action,),
+                accrued=parent.accrued + effective * transient_rate,
+                elapsed=parent.elapsed + predicted.duration,
+                distance=vertex_distance(new_config),
+                is_candidate=new_config.is_candidate(
+                    self.catalog, self.limits
+                ),
+            )
+            child.utility = bound(child)
+            finalize(child)
+            return child
+
+        def push_with_terminal(vertex: _Vertex) -> None:
+            push(vertex)
+            if vertex.is_candidate:
+                terminal = _Vertex(
+                    configuration=vertex.configuration,
+                    actions=vertex.actions,
+                    accrued=vertex.accrued,
+                    elapsed=vertex.elapsed,
+                    terminal=True,
+                    is_candidate=True,
+                )
+                terminal.utility = candidate_value(terminal)
+                finalize(terminal)
+                push(terminal)
+
+        root = _Vertex(
+            configuration=current,
+            actions=(),
+            accrued=0.0,
+            elapsed=0.0,
+            distance=vertex_distance(current),
+            is_candidate=current.is_candidate(self.catalog, self.limits),
+        )
+        root.utility = bound(root)
+        finalize(root)
+        push_with_terminal(root)
+
+        # Seed the open set with direct transition plans to the ideal
+        # configuration and to each per-host-count Perf-Pwr alternative
+        # (plus all their prefixes).  This installs good incumbent
+        # terminals — full and partial adaptations — that the graph
+        # search must beat, which bounds its effective depth.
+        if settings.seed_with_plan:
+            targets = [ideal.configuration] + [
+                alternative.configuration
+                for alternative in ideal.alternatives
+                if alternative.configuration != ideal.configuration
+            ]
+            for target in targets:
+                seed_vertex = root
+                for action in plan_transition(
+                    current, target, self.catalog, self.limits
+                ):
+                    if action.kind not in settings.allowed_kinds:
+                        break  # keep the valid prefix only
+                    seed_vertex = build_child(seed_vertex, action)
+                    if seed_vertex is None:
+                        break
+                    push_with_terminal(seed_vertex)
+
+        expansions = 0
+        result_vertex: Optional[_Vertex] = None
+        while heap:
+            neg_priority, _, _, vertex = heapq.heappop(heap)
+            key = (vertex.configuration, vertex.terminal)
+            if best_priority.get(key, -math.inf) > -neg_priority + 1e-12:
+                continue  # stale heap entry
+            if vertex.terminal:
+                result_vertex = vertex
+                break
+            if expansions >= settings.max_expansions:
+                result_vertex = best_terminal
+                break
+            expansions += 1
+            if len(vertex.actions) >= settings.max_plan_actions:
+                continue
+
+            possible = self._enumerate_actions(
+                vertex.configuration, ideal_caps
+            )
+            children: list[_Vertex] = []
+            tick = settings.per_vertex_seconds
+            if pruning and len(possible) > 1:
+                # Pruned expansion: generate configurations cheaply,
+                # keep the 5% closest to the ideal, and only fully
+                # evaluate those — the paper's "decreasing search width
+                # of each vertex".
+                reachable: list[tuple[float, int, AdaptationAction]] = []
+                for order, action in enumerate(possible):
+                    try:
+                        new_config = action.apply(
+                            vertex.configuration, self.catalog, self.limits
+                        )
+                    except ActionError:
+                        continue
+                    reachable.append(
+                        (vertex_distance(new_config), order, action)
+                    )
+                tick += len(reachable) * settings.per_child_apply_seconds
+                reachable.sort(key=lambda item: (item[0], item[1]))
+                keep = max(
+                    1, math.ceil(settings.prune_fraction * len(reachable))
+                )
+                for _, _, action in reachable[:keep]:
+                    child = build_child(vertex, action)
+                    if child is not None:
+                        children.append(child)
+                tick += len(children) * settings.per_child_eval_seconds
+            else:
+                for action in possible:
+                    child = build_child(vertex, action)
+                    if child is not None:
+                        children.append(child)
+                tick += len(children) * (
+                    settings.per_child_apply_seconds
+                    + settings.per_child_eval_seconds
+                )
+
+            # Self-aware accounting (Algorithm 1's T, UT, UpwrT, UH).
+            elapsed_search += tick
+            accrued_current += tick * current_rate
+            accrued_search_power += tick * search_power_rate
+            budget -= tick * budget_rate
+            if settings.self_aware and not pruning:
+                if (accrued_current + accrued_search_power) >= budget or (
+                    elapsed_search >= delay_threshold
+                ):
+                    pruning = True
+            if (
+                settings.self_aware
+                and best_terminal is not None
+                and elapsed_search
+                >= settings.hard_stop_factor * delay_threshold
+            ):
+                # Self-awareness in the limit: the decision itself has
+                # become too expensive — commit to the best incumbent.
+                result_vertex = best_terminal
+                break
+
+            for child in children:
+                push_with_terminal(child)
+
+        if result_vertex is None:
+            result_vertex = best_terminal
+        if result_vertex is None:
+            # Nothing reachable improved on staying put; keep current.
+            result_vertex = _Vertex(
+                configuration=current,
+                actions=(),
+                accrued=0.0,
+                elapsed=0.0,
+                terminal=True,
+                is_candidate=root.is_candidate,
+            )
+            result_vertex.utility = window * current_rate
+
+        decision_seconds = max(
+            settings.per_vertex_seconds, elapsed_search
+        )
+        return SearchOutcome(
+            actions=tuple(
+                action
+                for action in result_vertex.actions
+                if not isinstance(action, NullAction)
+            ),
+            final_configuration=result_vertex.configuration,
+            predicted_utility=result_vertex.utility,
+            ideal=ideal,
+            expansions=expansions,
+            decision_seconds=decision_seconds,
+            wall_seconds=time.perf_counter() - wall_start,
+            pruning_activated=pruning,
+            optimal=expansions < self.settings.max_expansions,
+        )
+
+    # -- action enumeration ------------------------------------------------------
+
+    def _enumerate_actions(
+        self,
+        configuration: Configuration,
+        target_caps: Optional[Mapping[str, float]] = None,
+    ) -> list[AdaptationAction]:
+        """All one-step actions applicable from ``configuration``.
+
+        When ``target_caps`` (the ideal configuration's caps) is given,
+        multi-step cap jumps straight to a VM's ideal cap are also
+        generated so the search can take the efficient highway instead
+        of interleaving unit steps combinatorially.
+        """
+        settings = self.settings
+        kinds = settings.allowed_kinds
+        step = self.limits.cpu_cap_step
+        actions: list[AdaptationAction] = []
+        powered = sorted(configuration.powered_hosts)
+        if self.scope_hosts is not None:
+            powered = [host for host in powered if host in self.scope_hosts]
+
+        for vm_id in configuration.placed_vm_ids():
+            placement = configuration.placement_of(vm_id)
+            assert placement is not None
+            if (
+                self.scope_hosts is not None
+                and placement.host_id not in self.scope_hosts
+            ):
+                continue
+            if "increase_cpu" in kinds and (
+                placement.cpu_cap + step <= self.limits.max_total_cpu_cap + 1e-9
+            ):
+                actions.append(IncreaseCpu(vm_id, step))
+            if "decrease_cpu" in kinds and (
+                placement.cpu_cap - step >= self.limits.min_vm_cpu_cap - 1e-9
+            ):
+                actions.append(DecreaseCpu(vm_id, step))
+            if target_caps is not None:
+                target = target_caps.get(vm_id)
+                if target is not None:
+                    steps = round((target - placement.cpu_cap) / step)
+                    if steps > 1 and "increase_cpu" in kinds:
+                        actions.append(IncreaseCpu(vm_id, step, count=steps))
+                    elif steps < -1 and "decrease_cpu" in kinds:
+                        actions.append(DecreaseCpu(vm_id, step, count=-steps))
+            if "migrate" in kinds:
+                for host_id in powered:
+                    if host_id != placement.host_id:
+                        actions.append(MigrateVm(vm_id, host_id))
+            if "remove_replica" in kinds:
+                descriptor = self.catalog.get(vm_id)
+                tier = self.applications.get(descriptor.app_name).tier(
+                    descriptor.tier_name
+                )
+                count = configuration.replica_count(
+                    self.catalog, descriptor.app_name, descriptor.tier_name
+                )
+                if count > tier.min_replicas:
+                    actions.append(RemoveReplica(vm_id))
+
+        if "add_replica" in kinds:
+            for app in self.applications:
+                for tier in app.tiers:
+                    count = configuration.replica_count(
+                        self.catalog, app.name, tier.name
+                    )
+                    if count >= tier.max_replicas:
+                        continue
+                    caps = {settings.replica_cap}
+                    if target_caps is not None:
+                        # The dormant VM that would be activated next.
+                        for descriptor in self.catalog.for_tier(
+                            app.name, tier.name
+                        ):
+                            if not configuration.is_placed(descriptor.vm_id):
+                                ideal_cap = target_caps.get(descriptor.vm_id)
+                                if ideal_cap is not None:
+                                    caps.add(ideal_cap)
+                                break
+                    for host_id in powered:
+                        for cap in sorted(caps):
+                            actions.append(
+                                AddReplica(app.name, tier.name, host_id, cap)
+                            )
+
+        if "power_on" in kinds:
+            for host_id in self.host_ids:
+                if host_id not in configuration.powered_hosts:
+                    actions.append(PowerOnHost(host_id))
+        if "power_off" in kinds:
+            for host_id in sorted(configuration.idle_hosts()):
+                actions.append(PowerOffHost(host_id))
+        return actions
+
+    # -- scoping ----------------------------------------------------------------
+
+    def _project_ideal(
+        self,
+        current: Configuration,
+        ideal: PerfPwrResult,
+        workloads: Mapping[str, float],
+    ) -> PerfPwrResult:
+        """Project the global ideal onto this controller's host scope.
+
+        Out-of-scope VMs keep their current placement and cap; in-scope
+        VMs adopt the ideal's caps, and the ideal's host when that host
+        is inside the scope.  Replication and powered hosts stay as
+        they are — 1st-level controllers only tune caps and migrate
+        locally.
+        """
+        assert self.scope_hosts is not None
+        kinds = self.settings.allowed_kinds
+        placements = dict(current.placements)
+        for vm_id, placement in current.placements.items():
+            if placement.host_id not in self.scope_hosts:
+                continue
+            ideal_placement = ideal.configuration.placement_of(vm_id)
+            if ideal_placement is None:
+                if "remove_replica" in kinds:
+                    descriptor = self.catalog.get(vm_id)
+                    tier_placed = sum(
+                        1
+                        for peer in self.catalog.for_tier(
+                            descriptor.app_name, descriptor.tier_name
+                        )
+                        if peer.vm_id in placements
+                    )
+                    if tier_placed > 1:
+                        del placements[vm_id]
+                continue
+            host = (
+                ideal_placement.host_id
+                if "migrate" in kinds
+                and ideal_placement.host_id in self.scope_hosts
+                and ideal_placement.host_id in current.powered_hosts
+                else placement.host_id
+            )
+            placements[vm_id] = Placement(host, ideal_placement.cpu_cap)
+        if "add_replica" in kinds:
+            for descriptor in self.catalog:
+                vm_id = descriptor.vm_id
+                if vm_id in placements or current.is_placed(vm_id):
+                    continue
+                ideal_placement = ideal.configuration.placement_of(vm_id)
+                if (
+                    ideal_placement is not None
+                    and ideal_placement.host_id in self.scope_hosts
+                    and ideal_placement.host_id in current.powered_hosts
+                ):
+                    placements[vm_id] = ideal_placement
+        projected = Configuration(placements, current.powered_hosts)
+        estimate = self.estimator.estimate(projected, workloads)
+        return PerfPwrResult(
+            configuration=projected,
+            perf_rate=estimate.perf_rate,
+            power_rate=estimate.power_rate,
+            estimate=estimate,
+            hosts_used=len(projected.used_hosts()),
+            evaluations=0,
+        )
+
+    # -- cost-to-go guidance ---------------------------------------------------
+
+    def _togo_durations(
+        self, workloads: Mapping[str, float]
+    ) -> dict[tuple[str, str], float]:
+        """Per-(action family, tier) duration estimates at this workload."""
+        durations: dict[tuple[str, str], float] = {}
+        mean_rate = (
+            sum(workloads.values()) / len(workloads) if workloads else 0.0
+        )
+        tiers = {
+            (tier.name) for app in self.applications for tier in app.tiers
+        }
+        table = self.cost_manager.table
+        for kind in ("migrate", "add_replica", "remove_replica"):
+            for tier in tiers:
+                try:
+                    entry = table.lookup(kind, tier, mean_rate)
+                except KeyError:
+                    continue
+                durations[(kind, tier)] = entry.duration
+        for kind in ("power_on", "power_off"):
+            try:
+                entry = table.lookup(kind, "-", mean_rate)
+            except KeyError:
+                continue
+            durations[(kind, "-")] = entry.duration
+        return durations
+
+    def _togo_seconds(
+        self,
+        configuration: Configuration,
+        ideal: Configuration,
+        durations: Mapping[tuple[str, str], float],
+    ) -> float:
+        """Estimated adaptation seconds separating ``configuration``
+        from the ideal configuration (migrations, replica changes, cap
+        steps, host power cycles)."""
+        step = self.limits.cpu_cap_step
+        seconds = 0.0
+        for descriptor in self.catalog:
+            vm_id = descriptor.vm_id
+            tier = descriptor.tier_name
+            here = configuration.placement_of(vm_id)
+            there = ideal.placement_of(vm_id)
+            if here is None and there is None:
+                continue
+            if here is None:
+                seconds += durations.get(("add_replica", tier), 40.0)
+                seconds += abs(there.cpu_cap - self.limits.min_vm_cpu_cap) / step
+            elif there is None:
+                seconds += durations.get(("remove_replica", tier), 25.0)
+            else:
+                if here.host_id != there.host_id:
+                    seconds += durations.get(("migrate", tier), 25.0)
+                seconds += abs(here.cpu_cap - there.cpu_cap) / step
+        for host_id in ideal.powered_hosts - configuration.powered_hosts:
+            seconds += durations.get(("power_on", "-"), 90.0)
+        for host_id in configuration.powered_hosts - ideal.powered_hosts:
+            seconds += durations.get(("power_off", "-"), 30.0)
+        return seconds
+
+    # -- distance to the ideal configuration ---------------------------------------
+
+    def _ideal_distance_basis(
+        self, ideal: PerfPwrResult
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Per-VM weights (relative ideal size) and ideal caps."""
+        caps = {
+            vm_id: placement.cpu_cap
+            for vm_id, placement in ideal.configuration.placements.items()
+        }
+        total = sum(caps.values()) or 1.0
+        weights = {
+            descriptor.vm_id: caps.get(descriptor.vm_id, 0.0) / total
+            for descriptor in self.catalog
+        }
+        # Give dormant-in-ideal VMs a small weight so extra replicas
+        # still register as distance.
+        floor = 0.5 / max(1, len(weights))
+        weights = {
+            vm_id: max(weight, floor) for vm_id, weight in weights.items()
+        }
+        return weights, caps
+
+    def _distance(
+        self,
+        configuration: Configuration,
+        ideal_caps: Mapping[str, float],
+        weights: Mapping[str, float],
+        ideal: PerfPwrResult,
+    ) -> float:
+        """Weighted cap distance plus placement mismatch (paper §IV-B)."""
+        cap_term = 0.0
+        matches = 0
+        total = 0
+        for descriptor in self.catalog:
+            vm_id = descriptor.vm_id
+            placement = configuration.placement_of(vm_id)
+            cap = placement.cpu_cap if placement is not None else 0.0
+            ideal_cap = ideal_caps.get(vm_id, 0.0)
+            cap_term += weights[vm_id] * (cap - ideal_cap) ** 2
+            total += 1
+            ideal_placement = ideal.configuration.placement_of(vm_id)
+            ideal_host = (
+                ideal_placement.host_id if ideal_placement is not None else None
+            )
+            host = placement.host_id if placement is not None else None
+            if host == ideal_host:
+                matches += 1
+        placement_term = 1.0 - (matches / total if total else 1.0)
+        return math.sqrt(cap_term) + placement_term

@@ -1,0 +1,22 @@
+"""Transient adaptation-cost model (paper §III-C).
+
+Costs of the six adaptation actions are measured experimentally
+*offline* — for each action and workload level, across random VM
+placements with a background application — and stored in tables indexed
+by workload.  At runtime the Cost Manager looks up the entry with the
+nearest workload to predict an action's duration and its response-time
+and power deltas.
+"""
+
+from repro.costmodel.table import CostEntry, CostTable
+from repro.costmodel.measurement import MeasurementCampaign, run_campaign
+from repro.costmodel.manager import CostManager, PredictedCost
+
+__all__ = [
+    "CostEntry",
+    "CostTable",
+    "MeasurementCampaign",
+    "run_campaign",
+    "CostManager",
+    "PredictedCost",
+]

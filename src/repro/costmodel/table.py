@@ -1,0 +1,101 @@
+"""Cost tables indexed by workload (paper §III-C).
+
+Each table entry aggregates, for one ``(action family, tier)`` pair at
+one workload level: the action duration, the response-time delta of the
+application being adapted, the delta felt by co-located applications,
+and the power delta on each affected host.  At runtime the entry with
+the workload closest to the measured one is used.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """Averaged offline measurements for one action at one workload."""
+
+    duration: float
+    primary_rt_delta: float
+    colocated_rt_delta: float
+    power_delta_watts: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+
+
+class CostTable:
+    """Workload-indexed cost entries for every action family."""
+
+    def __init__(self) -> None:
+        # (kind, tier) -> parallel sorted lists of workloads and entries.
+        self._entries: dict[tuple[str, str], tuple[list[float], list[CostEntry]]] = {}
+
+    def add(
+        self, kind: str, tier: str, workload: float, entry: CostEntry
+    ) -> None:
+        """Insert one measured entry (workloads must be unique per key)."""
+        if workload < 0:
+            raise ValueError("workload must be >= 0")
+        workloads, entries = self._entries.setdefault((kind, tier), ([], []))
+        index = bisect_left(workloads, workload)
+        if index < len(workloads) and workloads[index] == workload:
+            raise ValueError(
+                f"duplicate entry for {kind}/{tier} at workload {workload}"
+            )
+        workloads.insert(index, workload)
+        entries.insert(index, entry)
+
+    def keys(self) -> tuple[tuple[str, str], ...]:
+        """All ``(kind, tier)`` pairs with measurements."""
+        return tuple(self._entries)
+
+    def workload_levels(self, kind: str, tier: str) -> tuple[float, ...]:
+        """Measured workload grid for one key."""
+        workloads, _ = self._entries[(kind, tier)]
+        return tuple(workloads)
+
+    def entries(
+        self, kind: str, tier: str
+    ) -> Iterator[tuple[float, CostEntry]]:
+        """All (workload, entry) pairs for one key, by workload."""
+        workloads, entries = self._entries[(kind, tier)]
+        return iter(zip(workloads, entries))
+
+    def lookup(self, kind: str, tier: str, workload: float) -> CostEntry:
+        """Entry with the workload nearest to ``workload``.
+
+        Falls back to the ``'-'`` tier (tier-independent actions such
+        as host power cycling), then to any measured tier of the same
+        action family (for tiers the offline campaign did not cover —
+        e.g. a newly onboarded application with novel tier names).
+        """
+        key = (kind, tier)
+        if key not in self._entries:
+            key = (kind, "-")
+        if key not in self._entries:
+            same_kind = sorted(
+                entry_key for entry_key in self._entries
+                if entry_key[0] == kind
+            )
+            if same_kind:
+                key = same_kind[0]
+        if key not in self._entries:
+            raise KeyError(f"no cost entries for action {kind!r} tier {tier!r}")
+        workloads, entries = self._entries[key]
+        index = bisect_left(workloads, workload)
+        if index == 0:
+            return entries[0]
+        if index == len(workloads):
+            return entries[-1]
+        before, after = workloads[index - 1], workloads[index]
+        return entries[index - 1] if workload - before <= after - workload else (
+            entries[index]
+        )
+
+    def __len__(self) -> int:
+        return sum(len(workloads) for workloads, _ in self._entries.values())

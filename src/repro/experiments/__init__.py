@@ -1,0 +1,24 @@
+"""Experiment modules: one per paper figure/table (see DESIGN.md).
+
+Each module exposes a ``run_*`` function returning plain data
+structures (rows/series) that the benchmark harness prints next to the
+paper's reference values, plus small helpers the tests assert on.
+"""
+
+from repro.experiments.report import format_table, format_series, paper_vs_measured
+from repro.experiments.strategies import (
+    PAPER_CUMULATIVE_UTILITY,
+    run_comparison,
+    run_mistral_variant,
+    run_strategy,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "paper_vs_measured",
+    "PAPER_CUMULATIVE_UTILITY",
+    "run_comparison",
+    "run_mistral_variant",
+    "run_strategy",
+]

@@ -1,0 +1,143 @@
+"""Fig. 1 — power and response-time cost of a single live migration.
+
+The paper drives a three-tier application at 100 / 400 / 800 concurrent
+sessions, live-migrates one of its VMs at the 25-second mark, and plots
+the percentage increase of power draw and of end-to-end response time
+at 5-second samples.  We reproduce the rig: a two-host cluster, a
+constant workload, one migration of the application-server VM, and
+delta-percentage series against the pre-migration baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.application import ApplicationSet
+from repro.apps.rubis import make_rubis_application, sessions_to_rate
+from repro.cluster.cluster import Cluster
+from repro.cluster.host import HostSpec
+from repro.cluster.power_meter import PowerMeter
+from repro.cluster.transients import TransientModel
+from repro.core.actions import MigrateVm
+from repro.core.config import Configuration, ConstraintLimits, Placement
+from repro.perfmodel.lqn import parameters_for
+from repro.perfmodel.solver import LqnSolver
+from repro.power.model import HostPowerModel, SystemPowerModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+#: The paper's three workload levels, in concurrent sessions.
+SESSION_LEVELS = (100, 400, 800)
+SAMPLE_PERIOD = 5.0
+SAMPLE_COUNT = 110
+MIGRATION_AT = 25.0
+
+
+@dataclass
+class MigrationTrace:
+    """Delta series for one session level."""
+
+    sessions: int
+    request_rate: float
+    times: list[float]
+    power_delta_pct: list[float]
+    rt_delta_pct: list[float]
+    migration_seconds: float
+
+    def peak_power_delta(self) -> float:
+        """Largest power increase over baseline, in percent."""
+        return max(self.power_delta_pct)
+
+    def peak_rt_delta(self) -> float:
+        """Largest response-time increase over baseline, in percent."""
+        return max(self.rt_delta_pct)
+
+
+def run_fig1(seed: int = 0) -> dict[int, MigrationTrace]:
+    """Measure one live migration per session level."""
+    return {
+        sessions: _measure_level(sessions, seed)
+        for sessions in SESSION_LEVELS
+    }
+
+
+def _measure_level(sessions: int, seed: int) -> MigrationTrace:
+    app = make_rubis_application("RUBiS-1")
+    applications = ApplicationSet([app])
+    catalog = applications.build_catalog()
+    limits = ConstraintLimits()
+    rate = sessions_to_rate(float(sessions))
+    workloads = {"RUBiS-1": rate}
+
+    streams = RandomStreams(seed).fork(f"fig1:{sessions}")
+    engine = SimulationEngine()
+    hosts = [HostSpec("m1"), HostSpec("m2")]
+    power_models = SystemPowerModel.uniform(
+        [spec.host_id for spec in hosts], HostPowerModel()
+    )
+    transients = TransientModel(
+        catalog, rng=streams.stream("transients")
+    )
+    cluster = Cluster(
+        hosts,
+        catalog,
+        limits,
+        engine,
+        transients,
+        power_models,
+        workload_provider=lambda: workloads,
+    )
+    configuration = Configuration(
+        {
+            "RUBiS-1-web-0": Placement("m1", 0.3),
+            "RUBiS-1-app-0": Placement("m1", 0.5),
+            "RUBiS-1-db-0": Placement("m2", 0.8),
+        },
+        {"m1", "m2"},
+    )
+    cluster.deploy(configuration)
+    meter = PowerMeter(cluster, noise_watts=0.5, rng=streams.stream("meter"))
+    solver = LqnSolver(catalog, parameters_for(applications))
+    rt_rng = streams.stream("rt")
+
+    times: list[float] = []
+    watts: list[float] = []
+    response: list[float] = []
+
+    def sample() -> None:
+        estimate = solver.solve(cluster.configuration, workloads)
+        times.append(engine.now)
+        watts.append(meter.read(estimate.host_utilizations))
+        noise = 1.0 + float(rt_rng.normal(0.0, 0.01))
+        response.append(
+            estimate.response_times["RUBiS-1"] * noise
+            + cluster.transient_rt_delta("RUBiS-1")
+        )
+
+    engine.schedule_periodic(SAMPLE_PERIOD, sample, start=SAMPLE_PERIOD)
+
+    execution = cluster.execute_plan(
+        [MigrateVm("RUBiS-1-app-0", "m2")],
+        start_delay=MIGRATION_AT,
+    )
+    engine.run_until(SAMPLE_PERIOD * SAMPLE_COUNT)
+
+    pre_migration = [
+        index for index, time in enumerate(times) if time < MIGRATION_AT
+    ]
+    base_watts = sum(watts[i] for i in pre_migration) / len(pre_migration)
+    base_rt = sum(response[i] for i in pre_migration) / len(pre_migration)
+    return MigrationTrace(
+        sessions=sessions,
+        request_rate=rate,
+        times=times,
+        power_delta_pct=[
+            100.0 * (value - base_watts) / base_watts for value in watts
+        ],
+        rt_delta_pct=[
+            100.0 * (value - base_rt) / base_rt for value in response
+        ],
+        migration_seconds=execution.records[0].spec.duration
+        if execution.records
+        else 0.0,
+    )

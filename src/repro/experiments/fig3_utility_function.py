@@ -1,0 +1,44 @@
+"""Fig. 3 — the performance-utility reward/penalty functions.
+
+Reward grows and the penalty shrinks in magnitude as the request rate
+grows, reflecting the increasingly best-effort nature of the service.
+"""
+
+from __future__ import annotations
+
+from repro.core.utility import UtilityModel
+
+
+def run_fig3(
+    utility: UtilityModel | None = None, step: float = 5.0
+) -> list[dict[str, float]]:
+    """Sample (rate, reward, penalty) across the 0-100 req/s range."""
+    model = utility or UtilityModel()
+    rows = []
+    rate = 0.0
+    while rate <= model.parameters.workload_scale + 1e-9:
+        rows.append(
+            {
+                "rate": rate,
+                "reward": model.reward(rate),
+                "penalty": model.penalty(rate),
+            }
+        )
+        rate += step
+    return rows
+
+
+def crossover_checks(rows: list[dict[str, float]]) -> dict[str, bool]:
+    """The qualitative properties Fig. 3 shows."""
+    rewards = [row["reward"] for row in rows]
+    penalties = [row["penalty"] for row in rows]
+    return {
+        "reward_increasing": all(
+            a <= b + 1e-12 for a, b in zip(rewards, rewards[1:])
+        ),
+        "penalty_magnitude_decreasing": all(
+            abs(a) >= abs(b) - 1e-12 for a, b in zip(penalties, penalties[1:])
+        ),
+        "penalty_negative": all(value < 0 for value in penalties),
+        "reward_positive": all(value > 0 for value in rewards),
+    }

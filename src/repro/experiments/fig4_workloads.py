@@ -1,0 +1,54 @@
+"""Fig. 4 — the four application workloads over 15:00-21:30.
+
+RUBiS-1/2 follow the scaled World Cup '98 trace (flash crowd around
+16:52-17:14, broad evening peak); RUBiS-3/4 follow the scaled HP
+customer trace (smooth business curve).  All stay within 0-100 req/s.
+"""
+
+from __future__ import annotations
+
+from repro.workload.traces import EXPERIMENT_DURATION, standard_traces
+
+APP_NAMES = ("RUBiS-1", "RUBiS-2", "RUBiS-3", "RUBiS-4")
+
+
+def run_fig4(
+    step: float = 600.0,
+) -> dict[str, list[tuple[float, float]]]:
+    """Sample all four traces every ``step`` seconds."""
+    traces = standard_traces(APP_NAMES)
+    return {
+        app_name: trace.sample_series(0.0, EXPERIMENT_DURATION, step)
+        for app_name, trace in traces.items()
+    }
+
+
+def shape_checks(
+    series: dict[str, list[tuple[float, float]]]
+) -> dict[str, object]:
+    """The qualitative trace properties the paper describes."""
+    def peak(app: str) -> float:
+        return max(value for _, value in series[app])
+
+    def low(app: str) -> float:
+        return min(value for _, value in series[app])
+
+    flash_window = [
+        value
+        for time, value in series["RUBiS-1"]
+        if 6600.0 <= time <= 8100.0
+    ]
+    return {
+        "all_within_range": all(
+            0.0 <= value <= 100.0
+            for samples in series.values()
+            for _, value in samples
+        ),
+        "worldcup_peaks_high": peak("RUBiS-1") > 80.0 and peak("RUBiS-2") > 75.0,
+        "hp_moderate": 35.0 <= peak("RUBiS-3") <= 60.0,
+        "hp_smoother_than_worldcup": (
+            peak("RUBiS-3") - low("RUBiS-3")
+            < peak("RUBiS-1") - low("RUBiS-1")
+        ),
+        "flash_crowd_present": bool(flash_window) and max(flash_window) > 80.0,
+    }

@@ -1,0 +1,68 @@
+"""Fig. 8 — response-time and power comparison of the four strategies.
+
+Runs Perf-Pwr, Perf-Cost, Pwr-Cost, and Mistral on the 2-app scenario
+and produces the RUBiS-1/RUBiS-2 response-time series and the total
+power series, plus the qualitative checks the paper draws from them:
+Perf-Cost keeps the best response times but burns the most power;
+Mistral trades slight peak violations for fewer hosts; Perf-Pwr adapts
+most and fluctuates most.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.strategies import Comparison, run_comparison
+
+
+def run_fig8(
+    app_count: int = 2, seed: int = 0, horizon: Optional[float] = None
+) -> Comparison:
+    """The four strategy runs behind Fig. 8 (and Fig. 9)."""
+    return run_comparison(app_count=app_count, seed=seed, horizon=horizon)
+
+
+def response_time_series(
+    comparison: Comparison, app_name: str
+) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 8 (a)/(b): per-strategy response-time series for one app."""
+    return {
+        strategy: list(run.response_times[app_name])
+        for strategy, run in comparison.runs.items()
+    }
+
+
+def power_series(comparison: Comparison) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 8 (c): per-strategy total power series."""
+    return {
+        strategy: list(run.power_watts)
+        for strategy, run in comparison.runs.items()
+    }
+
+
+def shape_checks(comparison: Comparison) -> dict[str, bool]:
+    """The qualitative claims the paper makes about Fig. 8."""
+    runs = comparison.runs
+    target = comparison.target
+
+    def total_violations(strategy: str) -> float:
+        run = runs[strategy]
+        return sum(
+            series.fraction_above(target)
+            for series in run.response_times.values()
+        )
+
+    return {
+        "perf_cost_burns_most_power": runs["perf-cost"].mean_power()
+        == max(run.mean_power() for run in runs.values()),
+        "perf_cost_best_response_times": total_violations("perf-cost")
+        == min(total_violations(strategy) for strategy in runs),
+        "perf_pwr_most_adaptations": runs["perf-pwr"].action_count()
+        == max(run.action_count() for run in runs.values()),
+        "perf_pwr_most_violations": total_violations("perf-pwr")
+        == max(total_violations(strategy) for strategy in runs),
+        "mistral_power_below_perf_cost": runs["mistral"].mean_power()
+        < runs["perf-cost"].mean_power(),
+        "mistral_fewer_actions_than_perf_pwr": runs["mistral"].action_count()
+        < runs["perf-pwr"].action_count(),
+    }

@@ -1,0 +1,69 @@
+"""Fig. 9 — cumulative utility of the four strategies.
+
+The paper's headline result: Mistral (152.3) beats Pwr-Cost (93.9),
+Perf-Cost (26.3), and Perf-Pwr (-47.1).  The reproduction asserts the
+ordering — Mistral strictly highest, Perf-Pwr strictly lowest — rather
+than the absolute dollar figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.strategies import (
+    Comparison,
+    PAPER_CUMULATIVE_UTILITY,
+    run_comparison,
+)
+
+
+def run_fig9(
+    app_count: int = 2, seed: int = 0, horizon: Optional[float] = None
+) -> Comparison:
+    """The runs behind Fig. 9 (shared with Fig. 8)."""
+    return run_comparison(app_count=app_count, seed=seed, horizon=horizon)
+
+
+def cumulative_series(
+    comparison: Comparison,
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-strategy cumulative-utility series."""
+    return {
+        strategy: list(run.utility_increments.cumulative())
+        for strategy, run in comparison.runs.items()
+    }
+
+
+def final_utilities(comparison: Comparison) -> dict[str, float]:
+    """Per-strategy end-of-run cumulative utility."""
+    return {
+        strategy: run.cumulative_utility()
+        for strategy, run in comparison.runs.items()
+    }
+
+
+def comparison_rows(comparison: Comparison) -> list[dict[str, object]]:
+    """Paper-vs-measured rows for the benchmark printout."""
+    measured = final_utilities(comparison)
+    return [
+        {
+            "strategy": strategy,
+            "paper": PAPER_CUMULATIVE_UTILITY[strategy],
+            "measured": round(value, 1),
+        }
+        for strategy, value in sorted(
+            measured.items(), key=lambda item: -item[1]
+        )
+    ]
+
+
+def ordering_checks(comparison: Comparison) -> dict[str, bool]:
+    """Mistral strictly first, Perf-Pwr strictly last (paper ordering)."""
+    measured = final_utilities(comparison)
+    return {
+        "mistral_wins": measured["mistral"]
+        == max(measured.values()),
+        "pwr_cost_second": sorted(measured, key=measured.get, reverse=True)[1]
+        == "pwr-cost",
+        "perf_pwr_last": measured["perf-pwr"] == min(measured.values()),
+    }

@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(
+            len(str(column)), *(len(_cell(row.get(column))) for row in rows)
+        )
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _cell(row.get(column)).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_series(
+    series: Iterable[tuple[float, float]],
+    name: str,
+    max_points: int = 12,
+) -> str:
+    """Render a (time, value) series, thinned to ``max_points`` rows."""
+    points = list(series)
+    if not points:
+        return f"{name}: (empty)"
+    step = max(1, len(points) // max_points)
+    thinned = points[::step]
+    body = "  ".join(f"{time:.0f}:{value:.2f}" for time, value in thinned)
+    return f"{name}: {body}"
+
+
+def paper_vs_measured(
+    rows: Sequence[tuple[str, object, object]],
+    title: str = "paper vs measured",
+) -> str:
+    """Three-column comparison: metric, paper value, measured value."""
+    table_rows = [
+        {"metric": metric, "paper": paper, "measured": measured}
+        for metric, paper, measured in rows
+    ]
+    return format_table(table_rows, ["metric", "paper", "measured"], title)

@@ -1,0 +1,22 @@
+"""Layered-queueing performance model (paper §III-A).
+
+Tier servers are queues layered over processor-sharing CPU queues whose
+capacity is the Xen credit-scheduler cap of the hosting VM.  The solver
+produces per-application mean response times and per-VM / per-host CPU
+utilizations for a given configuration and workload; the calibration
+harness reproduces the paper's offline measurement phase, deriving the
+model parameters the controller uses from noisy observations of the
+(simulated) testbed.
+"""
+
+from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate, parameters_for
+from repro.perfmodel.solver import LqnSolver
+from repro.perfmodel.calibration import calibrate_parameters
+
+__all__ = [
+    "LqnParameters",
+    "PerformanceEstimate",
+    "parameters_for",
+    "LqnSolver",
+    "calibrate_parameters",
+]

@@ -1,0 +1,129 @@
+"""LQN model structures.
+
+:class:`LqnParameters` is the controller-facing parameterization of the
+layered queueing network: mix-weighted mean CPU demand and visit count
+per application tier, the Xen virtualization overhead, the Dom-0 demand
+per tier visit, and network latencies.  The same structure is used by
+the testbed with its hidden *true* parameters, and by the controller
+with the calibrated (noisy) copy produced by the offline measurement
+phase — the gap between the two is exactly the model error the paper
+quantifies in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.apps.application import Application
+
+
+@dataclass(frozen=True)
+class LqnParameters:
+    """Parameters of the layered queueing model.
+
+    Attributes
+    ----------
+    tier_demands:
+        ``(app, tier) ->`` mix-weighted mean CPU seconds per application
+        request spent at that tier (at full CPU speed, before the
+        virtualization overhead inflation).
+    tier_visits:
+        ``(app, tier) ->`` mix-weighted mean synchronous calls per
+        application request into that tier.
+    virt_overhead:
+        Fractional CPU inflation imposed by Xen on guest execution
+        (paper §III-A: "models also account for the resource sharing
+        overhead imposed by Xen").
+    dom0_demand_per_visit:
+        CPU seconds of Dom-0 (I/O handling) work per tier visit served
+        on a host; contributes to host utilization and power.
+    network_latency_per_request:
+        Fixed client-side latency per request (LAN round trip).
+    network_latency_per_visit:
+        Latency added per inter-tier synchronous call.
+    saturation_knee:
+        Utilization at which the processor-sharing waiting-time curve is
+        linearized to keep the model finite under overload.
+    overload_slope_seconds:
+        Additional seconds of response time per unit utilization beyond
+        the knee; approximates backlog growth over a monitoring window.
+    """
+
+    tier_demands: Mapping[tuple[str, str], float]
+    tier_visits: Mapping[tuple[str, str], float]
+    virt_overhead: float = 0.08
+    dom0_demand_per_visit: float = 0.0004
+    network_latency_per_request: float = 0.004
+    network_latency_per_visit: float = 0.0008
+    saturation_knee: float = 0.97
+    overload_slope_seconds: float = 40.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tier_demands", dict(self.tier_demands))
+        object.__setattr__(self, "tier_visits", dict(self.tier_visits))
+        for key, value in self.tier_demands.items():
+            if value < 0:
+                raise ValueError(f"negative demand for {key}: {value!r}")
+        if not 0.0 < self.saturation_knee < 1.0:
+            raise ValueError("saturation_knee must be in (0, 1)")
+        if self.virt_overhead < 0:
+            raise ValueError("virt_overhead must be >= 0")
+
+    def demand(self, app_name: str, tier_name: str) -> float:
+        """Mean CPU seconds per request at one tier (0 if unknown)."""
+        return self.tier_demands.get((app_name, tier_name), 0.0)
+
+    def visits(self, app_name: str, tier_name: str) -> float:
+        """Mean visits per request at one tier (0 if unknown)."""
+        return self.tier_visits.get((app_name, tier_name), 0.0)
+
+    def inflated_demand(self, app_name: str, tier_name: str) -> float:
+        """Demand including the Xen virtualization overhead."""
+        return self.demand(app_name, tier_name) * (1.0 + self.virt_overhead)
+
+    def scaled(self, factors: Mapping[tuple[str, str], float]) -> "LqnParameters":
+        """Copy with per-(app, tier) demand multipliers applied."""
+        demands = {
+            key: value * factors.get(key, 1.0)
+            for key, value in self.tier_demands.items()
+        }
+        return replace(self, tier_demands=demands)
+
+
+@dataclass
+class PerformanceEstimate:
+    """Solver output for one (configuration, workload) pair."""
+
+    response_times: dict[str, float] = field(default_factory=dict)
+    vm_utilizations: dict[str, float] = field(default_factory=dict)
+    host_utilizations: dict[str, float] = field(default_factory=dict)
+    tier_utilizations: dict[tuple[str, str], float] = field(default_factory=dict)
+    saturated_apps: set[str] = field(default_factory=set)
+
+    def response_time(self, app_name: str) -> float:
+        """Mean response time of an application in seconds."""
+        return self.response_times[app_name]
+
+    def total_utilization(self) -> float:
+        """Sum of host utilizations (the paper's Fig. 5b 'utilization')."""
+        return sum(self.host_utilizations.values())
+
+
+def parameters_for(
+    applications: Iterable[Application], **overrides: float
+) -> LqnParameters:
+    """Exact LQN parameters derived from application definitions.
+
+    These are the *true* parameters the simulated testbed runs on; the
+    controller never sees them directly but only through the offline
+    calibration measurements (see
+    :func:`repro.perfmodel.calibration.calibrate_parameters`).
+    """
+    demands: dict[tuple[str, str], float] = {}
+    visits: dict[tuple[str, str], float] = {}
+    for app in applications:
+        for tier in app.tiers:
+            demands[(app.name, tier.name)] = app.mean_tier_demand(tier.name)
+            visits[(app.name, tier.name)] = app.mean_tier_visits(tier.name)
+    return LqnParameters(tier_demands=demands, tier_visits=visits, **overrides)

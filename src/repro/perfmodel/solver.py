@@ -1,0 +1,183 @@
+"""Approximate solver for the layered queueing network.
+
+Each application tier is served by its active replicas; replica ``j``
+is a VM with CPU cap ``c_j`` modeled as a processor-sharing queue of
+capacity ``c_j``.  Incoming work is balanced across replicas in
+proportion to their caps (the paper's front ends distribute requests to
+replicas), which makes the per-replica utilization uniform:
+
+    rho = lambda * D / sum_j c_j
+
+with ``D`` the mix-weighted, virtualization-inflated CPU demand per
+request at the tier.  The processor-sharing residence time per request
+routed to replica ``j`` is ``(D / c_j) / (1 - rho)``; the tier response
+time aggregates over the cap-proportional routing probabilities, and
+the end-to-end response time adds tier times plus network latency per
+request and per synchronous call.
+
+Beyond the saturation knee the hyperbolic waiting curve is linearized
+(slope ``overload_slope_seconds``) so that overloaded configurations
+get a finite but strongly penalized response time — necessary for the
+optimizers, which must be able to rank infeasible-but-improving moves.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.config import Configuration, VmCatalog
+from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
+
+
+class LqnSolver:
+    """Evaluate response times and utilizations for configurations."""
+
+    def __init__(self, catalog: VmCatalog, parameters: LqnParameters) -> None:
+        self._catalog = catalog
+        self._parameters = parameters
+        # (app, tier) -> vm ids, precomputed once; placement filtering
+        # happens per solve call.
+        self._tier_vms: dict[tuple[str, str], tuple[str, ...]] = {}
+        for descriptor in catalog:
+            key = (descriptor.app_name, descriptor.tier_name)
+            self._tier_vms.setdefault(key, ())
+            self._tier_vms[key] += (descriptor.vm_id,)
+
+    @property
+    def parameters(self) -> LqnParameters:
+        """The parameter set this solver evaluates with."""
+        return self._parameters
+
+    def with_parameters(self, parameters: LqnParameters) -> "LqnSolver":
+        """A solver over the same catalog with different parameters."""
+        return LqnSolver(self._catalog, parameters)
+
+    def solve(
+        self,
+        configuration: Configuration,
+        workloads: Mapping[str, float],
+        demand_multipliers: Optional[Mapping[tuple[str, str], float]] = None,
+    ) -> PerformanceEstimate:
+        """Steady-state estimate for ``configuration`` under ``workloads``.
+
+        Parameters
+        ----------
+        configuration:
+            The VM placement and caps to evaluate.  May be an
+            intermediate (constraint-violating) configuration; the
+            solver only uses caps and placements.
+        workloads:
+            Application name -> offered request rate (req/s).
+        demand_multipliers:
+            Optional per-``(app, tier)`` service-demand multipliers;
+            the testbed uses these to inject per-interval noise.
+        """
+        params = self._parameters
+        estimate = PerformanceEstimate()
+        host_busy: dict[str, float] = {
+            host_id: 0.0 for host_id in configuration.powered_hosts
+        }
+
+        for app_name, rate in workloads.items():
+            if rate < 0:
+                raise ValueError(f"negative workload for {app_name!r}")
+            response = params.network_latency_per_request
+            saturated = False
+            tiers = [
+                (tier_key[1], vm_ids)
+                for tier_key, vm_ids in self._tier_vms.items()
+                if tier_key[0] == app_name
+            ]
+            if not tiers:
+                raise KeyError(f"no VMs in catalog for application {app_name!r}")
+
+            for tier_name, vm_ids in tiers:
+                placed = [
+                    (vm_id, configuration.placement_of(vm_id))
+                    for vm_id in vm_ids
+                    if configuration.is_placed(vm_id)
+                ]
+                demand = params.inflated_demand(app_name, tier_name)
+                if demand_multipliers:
+                    demand *= demand_multipliers.get((app_name, tier_name), 1.0)
+                visits = params.visits(app_name, tier_name)
+
+                if not placed:
+                    # Tier entirely dormant: requests needing it fail to
+                    # complete; model as full saturation.
+                    if demand > 0 and rate > 0:
+                        estimate.tier_utilizations[(app_name, tier_name)] = (
+                            float("inf")
+                        )
+                        response += params.overload_slope_seconds
+                        saturated = True
+                    continue
+
+                total_cap = sum(placement.cpu_cap for _, placement in placed)
+                rho = (rate * demand / total_cap) if total_cap > 0 else float("inf")
+                estimate.tier_utilizations[(app_name, tier_name)] = rho
+                if rho >= 1.0:
+                    saturated = True
+
+                tier_time = 0.0
+                served_rho = min(rho, 1.0)
+                for vm_id, placement in placed:
+                    routing = placement.cpu_cap / total_cap
+                    base = demand / placement.cpu_cap
+                    tier_time += routing * _ps_response(
+                        base,
+                        rho,
+                        params.saturation_knee,
+                        params.overload_slope_seconds,
+                    )
+                    estimate.vm_utilizations[vm_id] = served_rho
+                    host_busy.setdefault(placement.host_id, 0.0)
+                    # CPU actually burned: utilization of the cap, plus
+                    # the Dom-0 work for the visits this replica serves.
+                    served_rate = min(rate, total_cap / demand if demand else rate)
+                    host_busy[placement.host_id] += (
+                        served_rho * placement.cpu_cap
+                        + routing * served_rate * visits
+                        * params.dom0_demand_per_visit
+                    )
+                response += tier_time + visits * params.network_latency_per_visit
+
+            estimate.response_times[app_name] = response
+            if saturated:
+                estimate.saturated_apps.add(app_name)
+
+        estimate.host_utilizations = {
+            host_id: min(busy, 1.0) for host_id, busy in host_busy.items()
+        }
+        return estimate
+
+    def app_utilization(
+        self, estimate: PerformanceEstimate, app_name: str
+    ) -> float:
+        """Total host CPU attributable to one app's tiers (for Fig. 5b).
+
+        Sums, over the app's tiers, utilization x allocated cap — i.e.
+        the busy CPU fraction the application consumes across hosts.
+        """
+        total = 0.0
+        for (name, tier_name), rho in estimate.tier_utilizations.items():
+            if name != app_name or rho == float("inf"):
+                continue
+            for vm_id in self._tier_vms[(name, tier_name)]:
+                util = estimate.vm_utilizations.get(vm_id)
+                if util is not None:
+                    total += util
+        return total
+
+
+def _ps_response(base: float, rho: float, knee: float, slope: float) -> float:
+    """Processor-sharing residence time with linearized overload tail.
+
+    ``base`` is the no-contention service time ``D / c``; below the
+    knee the classic ``base / (1 - rho)`` applies, above it the curve
+    continues linearly with the given slope so overload ranks sanely.
+    """
+    if rho < knee:
+        return base / (1.0 - rho)
+    knee_value = base / (1.0 - knee)
+    return knee_value + (rho - knee) * slope

@@ -1,0 +1,21 @@
+"""Utilization-based power model (paper §III-B).
+
+Per-host power follows the empirical non-linear curve
+
+    pwr = pwr_idle + (pwr_busy - pwr_idle) * (2*rho - rho**r)
+
+with ``rho`` the host CPU utilization and ``r`` a tuning exponent
+obtained in a calibration phase against power-meter readings.  The
+testbed runs on hidden true exponents; the controller uses the fitted
+copy, mirroring the paper's model-vs-meter split (Fig. 5c).
+"""
+
+from repro.power.model import HostPowerModel, SystemPowerModel
+from repro.power.calibration import calibrate_power_model, fit_exponent
+
+__all__ = [
+    "HostPowerModel",
+    "SystemPowerModel",
+    "calibrate_power_model",
+    "fit_exponent",
+]

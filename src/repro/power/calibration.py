@@ -1,0 +1,103 @@
+"""Power model calibration (paper §III-B).
+
+The paper obtains the tuning exponent ``r`` "at a model calibration
+phase" from offline experiments against a power meter.  We reproduce
+the phase mechanically: sample the testbed's true curve at a sweep of
+utilizations with meter noise, then fit ``r`` by least squares with a
+golden-section search (the objective is unimodal in ``r``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.model import HostPowerModel
+
+
+def fit_exponent(
+    utilizations: np.ndarray,
+    watts: np.ndarray,
+    idle_watts: float,
+    busy_watts: float,
+    bounds: tuple[float, float] = (1.0, 2.0),
+    tolerance: float = 1e-5,
+) -> float:
+    """Least-squares fit of the power-curve exponent ``r``.
+
+    Parameters
+    ----------
+    utilizations, watts:
+        Paired observations from the calibration sweep.
+    idle_watts, busy_watts:
+        Endpoints of the curve (measured directly at standby and under
+        saturation, so they are not free parameters of the fit).
+    bounds:
+        Search interval for ``r``.
+    tolerance:
+        Interval width at which the golden-section search stops.
+    """
+    rho = np.clip(np.asarray(utilizations, dtype=float), 0.0, 1.0)
+    observed = np.asarray(watts, dtype=float)
+    if rho.shape != observed.shape or rho.size == 0:
+        raise ValueError("utilizations and watts must be equal-length, non-empty")
+    span = busy_watts - idle_watts
+    if span <= 0:
+        raise ValueError("busy_watts must exceed idle_watts")
+
+    def squared_error(r: float) -> float:
+        predicted = idle_watts + span * (2.0 * rho - rho**r)
+        return float(np.sum((predicted - observed) ** 2))
+
+    low, high = bounds
+    if low >= high:
+        raise ValueError("bounds must be an increasing interval")
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = low, high
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = squared_error(c), squared_error(d)
+    while (b - a) > tolerance:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = squared_error(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = squared_error(d)
+    return (a + b) / 2.0
+
+
+def calibrate_power_model(
+    true_model: HostPowerModel,
+    rng: np.random.Generator,
+    meter_noise_watts: float = 1.5,
+    sweep_points: int = 21,
+    repetitions: int = 5,
+) -> HostPowerModel:
+    """Run the offline calibration sweep and return the fitted model.
+
+    The sweep drives utilization from 0 to 1 in ``sweep_points`` steps,
+    reads the meter ``repetitions`` times per step with additive
+    Gaussian noise, and fits the exponent.  Idle and busy draws are
+    taken as the averaged endpoint readings, as in the paper's setup
+    where they are observed directly.
+    """
+    if sweep_points < 3:
+        raise ValueError("sweep_points must be >= 3")
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+
+    rho = np.repeat(np.linspace(0.0, 1.0, sweep_points), repetitions)
+    readings = np.array([true_model.watts(u) for u in rho])
+    readings = readings + rng.normal(0.0, meter_noise_watts, size=rho.shape)
+
+    idle = float(np.mean(readings[rho == 0.0]))
+    busy = float(np.mean(readings[rho == 1.0]))
+    # Meter noise can invert the endpoints on a nearly flat curve;
+    # keep the model well-formed.
+    busy = max(busy, idle + 1e-6)
+    exponent = fit_exponent(rho, readings, idle, busy)
+    return HostPowerModel(
+        idle_watts=idle, busy_watts=busy, exponent=min(2.0, max(1.0, exponent))
+    )

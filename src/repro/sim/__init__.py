@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a virtual clock, a binary-heap event
+queue, and seeded random-number streams.  Everything else in the
+reproduction (hosts, migrations, controllers) is built as events and
+periodic processes on top of :class:`SimulationEngine`.
+"""
+
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Event", "SimulationEngine", "SimulationError", "RandomStreams"]

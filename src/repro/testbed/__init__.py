@@ -1,0 +1,31 @@
+"""Experiment rig: testbed wiring, scenarios, and metrics."""
+
+from repro.testbed.metrics import ActionRecord, RunMetrics, TimeSeries, summarize_runs
+from repro.testbed.testbed import Testbed, TestbedSettings
+from repro.testbed.scenarios import (
+    HOSTS_FOR_APPS,
+    build_mistral,
+    build_perf_cost,
+    build_perf_pwr,
+    build_pwr_cost,
+    initial_configuration,
+    level1_host_groups,
+    make_testbed,
+)
+
+__all__ = [
+    "ActionRecord",
+    "RunMetrics",
+    "TimeSeries",
+    "summarize_runs",
+    "Testbed",
+    "TestbedSettings",
+    "HOSTS_FOR_APPS",
+    "build_mistral",
+    "build_perf_cost",
+    "build_perf_pwr",
+    "build_pwr_cost",
+    "initial_configuration",
+    "level1_host_groups",
+    "make_testbed",
+]

@@ -1,0 +1,32 @@
+"""Workload substrate: traces, bands, and stability-interval prediction.
+
+The paper drives four RUBiS applications with a scaled day of the 1998
+World Cup web trace (RUBiS-1/2) and of an HP customer web-server trace
+(RUBiS-3/4), both shifted into the 0-100 req/s range over a 15:00-21:30
+horizon.  :mod:`repro.workload.traces` generates synthetic equivalents
+with the documented shapes.  :mod:`repro.workload.arma` implements the
+adaptive ARMA filter for stability-interval prediction (paper §III-D)
+and :mod:`repro.workload.monitor` the workload-band bookkeeping that
+triggers controller invocations.
+"""
+
+from repro.workload.traces import (
+    EXPERIMENT_DURATION,
+    Trace,
+    hp_trace,
+    standard_traces,
+    world_cup_trace,
+)
+from repro.workload.arma import StabilityIntervalEstimator
+from repro.workload.monitor import BandEscape, WorkloadMonitor
+
+__all__ = [
+    "EXPERIMENT_DURATION",
+    "Trace",
+    "hp_trace",
+    "standard_traces",
+    "world_cup_trace",
+    "StabilityIntervalEstimator",
+    "BandEscape",
+    "WorkloadMonitor",
+]

@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (cost tables, testbeds) are session-scoped; most
+tests run against a small 2-application scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.application import ApplicationSet
+from repro.apps.rubis import make_rubis_application
+from repro.core.config import Configuration, ConstraintLimits, Placement
+from repro.core.estimator import UtilityEstimator
+from repro.core.perf_pwr import PerfPwrOptimizer
+from repro.core.utility import UtilityModel
+from repro.costmodel.manager import CostManager
+from repro.costmodel.measurement import MeasurementCampaign, run_campaign
+from repro.perfmodel.lqn import parameters_for
+from repro.perfmodel.solver import LqnSolver
+from repro.power.model import HostPowerModel, SystemPowerModel
+
+HOSTS = tuple(f"host-{index}" for index in range(4))
+
+
+@pytest.fixture(scope="session")
+def apps() -> ApplicationSet:
+    return ApplicationSet(
+        [make_rubis_application("RUBiS-1"), make_rubis_application("RUBiS-2")]
+    )
+
+
+@pytest.fixture(scope="session")
+def catalog(apps):
+    return apps.build_catalog()
+
+
+@pytest.fixture(scope="session")
+def limits() -> ConstraintLimits:
+    return ConstraintLimits()
+
+
+@pytest.fixture(scope="session")
+def solver(apps, catalog) -> LqnSolver:
+    return LqnSolver(catalog, parameters_for(apps))
+
+
+@pytest.fixture(scope="session")
+def power_models() -> SystemPowerModel:
+    return SystemPowerModel.uniform(HOSTS, HostPowerModel())
+
+
+@pytest.fixture(scope="session")
+def utility() -> UtilityModel:
+    return UtilityModel()
+
+
+@pytest.fixture(scope="session")
+def estimator(solver, power_models, utility, catalog) -> UtilityEstimator:
+    return UtilityEstimator(solver, power_models, utility, catalog)
+
+
+@pytest.fixture(scope="session")
+def optimizer(apps, catalog, limits, estimator) -> PerfPwrOptimizer:
+    return PerfPwrOptimizer(apps, catalog, limits, estimator, HOSTS)
+
+
+@pytest.fixture(scope="session")
+def cost_table(apps, limits):
+    campaign = MeasurementCampaign(
+        target_app=apps.get("RUBiS-1"),
+        background_app=apps.get("RUBiS-2"),
+        host_ids=[f"rig-{index}" for index in range(8)],
+        limits=limits,
+        placements_per_point=4,
+    )
+    return run_campaign(campaign, rng=np.random.default_rng(1))
+
+
+@pytest.fixture(scope="session")
+def cost_manager(cost_table, catalog) -> CostManager:
+    return CostManager(cost_table, catalog)
+
+
+@pytest.fixture
+def base_configuration() -> Configuration:
+    """A feasible 2-app starting configuration on two hosts."""
+    return Configuration(
+        {
+            "RUBiS-1-web-0": Placement("host-0", 0.2),
+            "RUBiS-1-app-0": Placement("host-0", 0.2),
+            "RUBiS-1-db-0": Placement("host-1", 0.4),
+            "RUBiS-2-web-0": Placement("host-0", 0.2),
+            "RUBiS-2-app-0": Placement("host-0", 0.2),
+            "RUBiS-2-db-0": Placement("host-1", 0.4),
+        },
+        {"host-0", "host-1"},
+    )
+
+
+@pytest.fixture(scope="session")
+def small_testbed():
+    """A 2-app testbed shared by integration-style tests."""
+    from repro.testbed import make_testbed
+
+    return make_testbed(app_count=2, seed=0)

@@ -1,0 +1,226 @@
+"""Tests for the six adaptation actions."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionError,
+    AddReplica,
+    DecreaseCpu,
+    IncreaseCpu,
+    MigrateVm,
+    NullAction,
+    PowerOffHost,
+    PowerOnHost,
+    RemoveReplica,
+)
+from repro.core.config import (
+    Configuration,
+    ConstraintLimits,
+    Placement,
+    VmCatalog,
+    VmDescriptor,
+)
+
+LIMITS = ConstraintLimits()
+
+
+@pytest.fixture
+def catalog():
+    return VmCatalog(
+        [
+            VmDescriptor("a-web-0", "a", "web"),
+            VmDescriptor("a-db-0", "a", "db"),
+            VmDescriptor("a-db-1", "a", "db"),
+            VmDescriptor("b-web-0", "b", "web"),
+        ]
+    )
+
+
+@pytest.fixture
+def config():
+    return Configuration(
+        {
+            "a-web-0": Placement("h1", 0.4),
+            "a-db-0": Placement("h2", 0.4),
+            "b-web-0": Placement("h1", 0.2),
+        },
+        {"h1", "h2", "h3"},
+    )
+
+
+# -- CPU tuning -----------------------------------------------------------------
+
+
+def test_increase_cpu(config, catalog):
+    result = IncreaseCpu("a-web-0", 0.1).apply(config, catalog, LIMITS)
+    assert result.placement_of("a-web-0").cpu_cap == pytest.approx(0.5)
+
+
+def test_increase_cpu_multi_step_count(config, catalog):
+    result = IncreaseCpu("a-web-0", 0.1, count=3).apply(config, catalog, LIMITS)
+    assert result.placement_of("a-web-0").cpu_cap == pytest.approx(0.7)
+
+
+def test_increase_cpu_may_overcommit_host(config, catalog):
+    # h1 carries 0.6; adding 0.3 exceeds the 0.8 share, but the action
+    # is legal — the result is an intermediate configuration.
+    result = IncreaseCpu("a-web-0", 0.1, count=3).apply(config, catalog, LIMITS)
+    assert not result.is_candidate(catalog, LIMITS)
+
+
+def test_increase_cpu_cannot_exceed_guest_share(config, catalog):
+    with pytest.raises(ActionError):
+        IncreaseCpu("a-web-0", 0.1, count=5).apply(config, catalog, LIMITS)
+
+
+def test_decrease_cpu(config, catalog):
+    result = DecreaseCpu("a-db-0", 0.1).apply(config, catalog, LIMITS)
+    assert result.placement_of("a-db-0").cpu_cap == pytest.approx(0.3)
+
+
+def test_decrease_cpu_respects_minimum(config, catalog):
+    with pytest.raises(ActionError):
+        DecreaseCpu("b-web-0", 0.1).apply(config, catalog, LIMITS)
+
+
+def test_cpu_actions_require_placed_vm(config, catalog):
+    with pytest.raises(ActionError):
+        IncreaseCpu("a-db-1", 0.1).apply(config, catalog, LIMITS)
+
+
+def test_cpu_action_cost_key_and_affected(config, catalog):
+    action = IncreaseCpu("a-db-0", 0.1)
+    assert action.cost_key(catalog) == ("increase_cpu", "db")
+    assert action.affected_apps(config, catalog) == {"a"}
+    assert action.affected_hosts(config) == {"h2"}
+
+
+def test_cap_change_validates_parameters():
+    with pytest.raises(ValueError):
+        IncreaseCpu("x", step=0.0)
+    with pytest.raises(ValueError):
+        DecreaseCpu("x", step=0.1, count=0)
+
+
+# -- migration -------------------------------------------------------------------
+
+
+def test_migrate(config, catalog):
+    result = MigrateVm("a-web-0", "h3").apply(config, catalog, LIMITS)
+    assert result.placement_of("a-web-0").host_id == "h3"
+    assert result.placement_of("a-web-0").cpu_cap == pytest.approx(0.4)
+
+
+def test_migrate_to_same_host_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        MigrateVm("a-web-0", "h1").apply(config, catalog, LIMITS)
+
+
+def test_migrate_to_unpowered_host_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        MigrateVm("a-web-0", "h9").apply(config, catalog, LIMITS)
+
+
+def test_migrate_affects_colocated_apps(config, catalog):
+    action = MigrateVm("a-web-0", "h2")
+    # source h1 hosts app b; destination h2 hosts only app a.
+    assert action.affected_apps(config, catalog) == {"a", "b"}
+    assert action.affected_hosts(config) == {"h1", "h2"}
+
+
+# -- replication -------------------------------------------------------------------
+
+
+def test_add_replica_activates_dormant_vm(config, catalog):
+    result = AddReplica("a", "db", "h3", 0.3).apply(config, catalog, LIMITS)
+    assert result.placement_of("a-db-1") == Placement("h3", 0.3)
+
+
+def test_add_replica_with_explicit_vm(config, catalog):
+    action = AddReplica("a", "db", "h3", 0.3, vm_id="a-db-1")
+    result = action.apply(config, catalog, LIMITS)
+    assert result.placement_of("a-db-1") == Placement("h3", 0.3)
+
+
+def test_add_replica_explicit_vm_must_be_dormant(config, catalog):
+    with pytest.raises(ActionError):
+        AddReplica("a", "db", "h3", 0.3, vm_id="a-db-0").apply(
+            config, catalog, LIMITS
+        )
+
+
+def test_add_replica_explicit_vm_must_match_tier(config, catalog):
+    with pytest.raises(ActionError):
+        AddReplica("a", "db", "h3", 0.3, vm_id="a-web-0").apply(
+            config, catalog, LIMITS
+        )
+
+
+def test_add_replica_fails_when_no_dormant_left(config, catalog):
+    grown = AddReplica("a", "db", "h3", 0.3).apply(config, catalog, LIMITS)
+    with pytest.raises(ActionError):
+        AddReplica("a", "db", "h3", 0.3).apply(grown, catalog, LIMITS)
+
+
+def test_add_replica_cap_minimum(config, catalog):
+    with pytest.raises(ActionError):
+        AddReplica("a", "db", "h3", 0.1).apply(config, catalog, LIMITS)
+
+
+def test_remove_replica(config, catalog):
+    grown = AddReplica("a", "db", "h3", 0.3).apply(config, catalog, LIMITS)
+    shrunk = RemoveReplica("a-db-1").apply(grown, catalog, LIMITS)
+    assert not shrunk.is_placed("a-db-1")
+
+
+def test_remove_last_replica_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        RemoveReplica("a-db-0").apply(config, catalog, LIMITS)
+
+
+# -- host power --------------------------------------------------------------------
+
+
+def test_power_on(config, catalog):
+    result = PowerOnHost("h4").apply(config, catalog, LIMITS)
+    assert "h4" in result.powered_hosts
+
+
+def test_power_on_already_powered_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        PowerOnHost("h1").apply(config, catalog, LIMITS)
+
+
+def test_power_off_empty_host(config, catalog):
+    result = PowerOffHost("h3").apply(config, catalog, LIMITS)
+    assert "h3" not in result.powered_hosts
+
+
+def test_power_off_loaded_host_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        PowerOffHost("h1").apply(config, catalog, LIMITS)
+
+
+def test_power_off_unpowered_rejected(config, catalog):
+    with pytest.raises(ActionError):
+        PowerOffHost("h9").apply(config, catalog, LIMITS)
+
+
+# -- null ---------------------------------------------------------------------------
+
+
+def test_null_action_is_identity(config, catalog):
+    assert NullAction().apply(config, catalog, LIMITS) is config
+    assert NullAction().affected_apps(config, catalog) == frozenset()
+
+
+def test_is_applicable_mirrors_apply(config, catalog):
+    assert MigrateVm("a-web-0", "h3").is_applicable(config, catalog, LIMITS)
+    assert not MigrateVm("a-web-0", "h1").is_applicable(config, catalog, LIMITS)
+
+
+def test_str_representations(config, catalog):
+    assert "migrate" in str(MigrateVm("a-web-0", "h3"))
+    assert "+30%" in str(IncreaseCpu("a-web-0", 0.1, count=3))
+    assert "-10%" in str(DecreaseCpu("a-web-0", 0.1))
+    assert "add_replica" in str(AddReplica("a", "db", "h3", 0.3))

@@ -1,0 +1,196 @@
+"""Tests for applications, transactions, and the RUBiS factory."""
+
+import pytest
+
+from repro.apps.application import Application, ApplicationSet, TierSpec
+from repro.apps.rubis import (
+    make_rubis_application,
+    rate_to_sessions,
+    sessions_to_rate,
+)
+from repro.apps.transactions import TransactionType, validate_mix
+
+
+def simple_txn(name="t", mix=1.0):
+    return TransactionType(
+        name=name,
+        mix_fraction=mix,
+        visits={"web": 1, "db": 2},
+        demand_per_visit={"web": 0.001, "db": 0.002},
+    )
+
+
+# -- TransactionType -----------------------------------------------------------
+
+
+def test_tier_demand_multiplies_visits():
+    txn = simple_txn()
+    assert txn.tier_demand("db") == pytest.approx(0.004)
+    assert txn.tier_demand("web") == pytest.approx(0.001)
+    assert txn.tier_demand("unknown") == 0.0
+
+
+def test_tiers_lists_visited_tiers():
+    assert set(simple_txn().tiers()) == {"web", "db"}
+
+
+def test_transaction_validation():
+    with pytest.raises(ValueError):
+        TransactionType("bad", 1.5, {"web": 1}, {"web": 0.001})
+    with pytest.raises(ValueError):
+        TransactionType("bad", 0.5, {"web": -1}, {})
+    with pytest.raises(ValueError):
+        TransactionType("bad", 0.5, {"web": 1}, {"db": 0.001})
+
+
+def test_validate_mix():
+    validate_mix([simple_txn("a", 0.6), simple_txn("b", 0.4)])
+    with pytest.raises(ValueError):
+        validate_mix([simple_txn("a", 0.6), simple_txn("b", 0.6)])
+    with pytest.raises(ValueError):
+        validate_mix([simple_txn("a", 0.5), simple_txn("a", 0.5)])
+    with pytest.raises(ValueError):
+        validate_mix([])
+
+
+# -- Application -----------------------------------------------------------------
+
+
+def test_application_validates_tiers_and_mix():
+    tiers = [TierSpec("web", "apache"), TierSpec("db", "mysql")]
+    app = Application("shop", tiers, [simple_txn()])
+    assert app.tier_names() == ("web", "db")
+    assert app.tier("db").software == "mysql"
+    with pytest.raises(KeyError):
+        app.tier("cache")
+
+
+def test_application_rejects_unknown_tier_in_transaction():
+    with pytest.raises(ValueError):
+        Application("shop", [TierSpec("api", "nginx")], [simple_txn()])
+
+
+def test_application_rejects_duplicate_tiers():
+    with pytest.raises(ValueError):
+        Application(
+            "shop",
+            [TierSpec("web", "a"), TierSpec("web", "b")],
+            [
+                TransactionType(
+                    "t", 1.0, {"web": 1}, {"web": 0.001}
+                )
+            ],
+        )
+
+
+def test_mean_demand_is_mix_weighted():
+    tiers = [TierSpec("web", "apache"), TierSpec("db", "mysql")]
+    light = TransactionType("l", 0.5, {"web": 1, "db": 0}, {"web": 0.001})
+    heavy = TransactionType(
+        "h", 0.5, {"web": 1, "db": 4}, {"web": 0.001, "db": 0.002}
+    )
+    app = Application("shop", tiers, [light, heavy])
+    assert app.mean_tier_demand("db") == pytest.approx(0.5 * 4 * 0.002)
+    assert app.mean_tier_visits("db") == pytest.approx(2.0)
+
+
+def test_vm_descriptors_cover_all_replica_slots():
+    app = make_rubis_application("RUBiS-1")
+    ids = [d.vm_id for d in app.vm_descriptors()]
+    assert ids == [
+        "RUBiS-1-web-0",
+        "RUBiS-1-app-0",
+        "RUBiS-1-app-1",
+        "RUBiS-1-db-0",
+        "RUBiS-1-db-1",
+    ]
+
+
+def test_tier_spec_validation():
+    with pytest.raises(ValueError):
+        TierSpec("web", "apache", min_replicas=0)
+    with pytest.raises(ValueError):
+        TierSpec("web", "apache", min_replicas=2, max_replicas=1)
+
+
+# -- ApplicationSet -----------------------------------------------------------------
+
+
+def test_application_set_basics():
+    apps = ApplicationSet(
+        [make_rubis_application("A"), make_rubis_application("B")]
+    )
+    assert apps.names() == ("A", "B")
+    assert "A" in apps and len(apps) == 2
+    assert apps.get("B").name == "B"
+
+
+def test_application_set_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        ApplicationSet(
+            [make_rubis_application("A"), make_rubis_application("A")]
+        )
+    with pytest.raises(ValueError):
+        ApplicationSet([])
+
+
+def test_build_catalog_merges_applications():
+    apps = ApplicationSet(
+        [make_rubis_application("A"), make_rubis_application("B")]
+    )
+    catalog = apps.build_catalog()
+    assert len(catalog) == 10
+    assert catalog.apps() == ("A", "B")
+
+
+# -- RUBiS factory ----------------------------------------------------------------
+
+
+def test_rubis_has_nine_browse_transactions():
+    app = make_rubis_application("RUBiS-1")
+    assert len(app.transactions) == 9
+    validate_mix(app.transactions)
+
+
+def test_rubis_replication_rules():
+    app = make_rubis_application("RUBiS-1")
+    assert app.tier("web").max_replicas == 1
+    assert app.tier("app").max_replicas == 2
+    assert app.tier("db").max_replicas == 2
+
+
+def test_rubis_demand_normalization_anchors():
+    app = make_rubis_application("RUBiS-1")
+    profile = app.demand_profile()
+    assert profile["web"] == pytest.approx(0.0012)
+    assert profile["app"] == pytest.approx(0.0032)
+    assert profile["db"] == pytest.approx(0.0070)
+
+
+def test_rubis_demand_scale():
+    fast = make_rubis_application("fast", demand_scale=0.5)
+    assert fast.demand_profile()["db"] == pytest.approx(0.0035)
+    with pytest.raises(ValueError):
+        make_rubis_application("bad", demand_scale=0.0)
+
+
+def test_db_heaviest_tier():
+    app = make_rubis_application("RUBiS-1")
+    profile = app.demand_profile()
+    assert profile["db"] > profile["app"] > profile["web"]
+
+
+# -- session mapping ----------------------------------------------------------------
+
+
+def test_session_rate_mapping_roundtrip():
+    assert rate_to_sessions(100.0) == pytest.approx(800.0)
+    assert sessions_to_rate(800.0) == pytest.approx(100.0)
+    assert sessions_to_rate(rate_to_sessions(37.5)) == pytest.approx(37.5)
+
+
+def test_session_mapping_rejects_negative():
+    with pytest.raises(ValueError):
+        rate_to_sessions(-1.0)
+    with pytest.raises(ValueError):
+        sessions_to_rate(-1.0)

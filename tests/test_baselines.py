@@ -1,0 +1,172 @@
+"""Tests for the three baseline controllers."""
+
+import pytest
+
+from repro.baselines.perf_pwr import PerfPwrController
+from repro.testbed.scenarios import (
+    build_perf_cost,
+    build_perf_pwr,
+    build_pwr_cost,
+    perf_cost_host_assignment,
+)
+from repro.workload.monitor import WorkloadMonitor
+
+
+@pytest.fixture(scope="module")
+def tb():
+    from repro.testbed import make_testbed
+
+    return make_testbed(app_count=2, seed=3)
+
+
+# -- Perf-Pwr ----------------------------------------------------------------
+
+
+def test_perf_pwr_reoptimizes_on_change(tb):
+    controller, initial = build_perf_pwr(tb)
+    decisions = controller.on_sample(
+        0.0, tb.workloads_at(0.0), initial
+    )
+    # First sample establishes bands; optimizer output equals the
+    # initial configuration only when nothing moved.
+    later = controller.on_sample(
+        120.0, {"RUBiS-1": 80.0, "RUBiS-2": 75.0}, initial
+    )
+    assert later, "a large workload change must trigger a plan"
+    assert not later[0].is_null
+    assert later[0].controller == "perf-pwr"
+
+
+def test_perf_pwr_skips_when_busy(tb):
+    controller, initial = build_perf_pwr(tb)
+    controller.on_sample(0.0, tb.workloads_at(0.0), initial)
+    assert (
+        controller.on_sample(
+            120.0, {"RUBiS-1": 80.0, "RUBiS-2": 75.0}, initial, busy=True
+        )
+        == []
+    )
+    assert controller.stats.skipped_busy == 1
+
+
+def test_perf_pwr_null_when_already_optimal(tb):
+    controller, initial = build_perf_pwr(tb)
+    workloads = tb.workloads_at(0.0)
+    target = controller.optimizer.optimize(workloads).configuration
+    decisions = controller.on_sample(0.0, workloads, target)
+    assert decisions == []
+    assert controller.stats.null_decisions == 1
+
+
+# -- Perf-Cost ----------------------------------------------------------------
+
+
+def test_perf_cost_assignment_is_two_hosts_per_app(tb):
+    assignment = perf_cost_host_assignment(tb)
+    assert assignment["RUBiS-1"] == ("host-0", "host-1")
+    assert assignment["RUBiS-2"] == ("host-2", "host-3")
+
+
+def test_perf_cost_initial_configuration_uses_all_pools(tb):
+    _, initial = build_perf_cost(tb)
+    assert initial.powered_hosts == {"host-0", "host-1", "host-2", "host-3"}
+    assert initial.placement_of("RUBiS-1-db-0").host_id == "host-1"
+    assert initial.placement_of("RUBiS-2-web-0").host_id == "host-2"
+
+
+def test_perf_cost_actions_stay_in_the_apps_pool(tb):
+    controller, initial = build_perf_cost(tb)
+    controller.on_sample(0.0, tb.workloads_at(0.0), initial)
+    decisions = controller.on_sample(
+        120.0, {"RUBiS-1": 85.0, "RUBiS-2": 20.0}, initial
+    )
+    assignment = perf_cost_host_assignment(tb)
+    for decision in decisions:
+        for action in decision.actions:
+            assert action.kind not in ("power_on", "power_off")
+            target_host = getattr(action, "target_host", None)
+            if target_host is not None:
+                vm_id = getattr(action, "vm_id", None)
+                app = (
+                    tb.catalog.get(vm_id).app_name
+                    if vm_id
+                    else getattr(action, "app_name")
+                )
+                assert target_host in assignment[app]
+
+
+def test_perf_cost_never_powers_off(tb):
+    controller, initial = build_perf_cost(tb)
+    state = initial
+    for step in range(4):
+        decisions = controller.on_sample(
+            step * 120.0, tb.workloads_at(step * 120.0), state
+        )
+        for decision in decisions:
+            for action in decision.actions:
+                state = action.apply(state, tb.catalog, tb.limits)
+    assert state.powered_hosts == initial.powered_hosts
+
+
+# -- Pwr-Cost ------------------------------------------------------------------
+
+
+def test_pwr_cost_plans_toward_oracle_capacities(tb):
+    controller, initial = build_pwr_cost(tb)
+    controller.on_sample(0.0, tb.workloads_at(0.0), initial)
+    decisions = controller.on_sample(
+        120.0, {"RUBiS-1": 85.0, "RUBiS-2": 80.0}, initial
+    )
+    assert decisions
+    kinds = {
+        action.kind
+        for decision in decisions
+        for action in decision.actions
+    }
+    # Scaling up demands capacity growth of some form.
+    assert kinds & {"increase_cpu", "add_replica", "power_on", "migrate"}
+
+
+def test_pwr_cost_consolidates_at_low_load(tb):
+    controller, initial = build_pwr_cost(tb)
+    state = initial
+    for step in range(5):
+        decisions = controller.on_sample(
+            step * 120.0, {"RUBiS-1": 8.0, "RUBiS-2": 8.0}, state
+        )
+        for decision in decisions:
+            for action in decision.actions:
+                state = action.apply(state, tb.catalog, tb.limits)
+    assert len(state.powered_hosts) <= 2
+
+
+def test_pwr_cost_target_is_feasible(tb):
+    controller, initial = build_pwr_cost(tb)
+    sizes = controller.oracle.minimal_capacities(
+        {"RUBiS-1": 60.0, "RUBiS-2": 55.0}
+    )
+    target = controller._fit(initial, dict(sizes.caps))
+    target = controller._consolidate(
+        target, {"RUBiS-1": 60.0, "RUBiS-2": 55.0}, 600.0
+    )
+    assert target.is_candidate(tb.catalog, tb.limits)
+
+
+def test_pwr_cost_survives_cluster_exhaustion(tb):
+    controller, initial = build_pwr_cost(tb)
+    # Demand beyond what the pool can serve with margined targets must
+    # degrade gracefully, not raise.
+    decisions = controller.on_sample(
+        0.0, {"RUBiS-1": 100.0, "RUBiS-2": 100.0}, initial
+    )
+    assert isinstance(decisions, list)
+
+
+def test_baseline_interface_parity(tb):
+    for builder in (build_perf_pwr, build_perf_cost, build_pwr_cost):
+        controller, initial = builder(tb)
+        controller.record_interval_utility(1.0)  # must not raise
+        result = controller.on_sample(
+            0.0, tb.workloads_at(0.0), initial, busy=False
+        )
+        assert isinstance(result, list)

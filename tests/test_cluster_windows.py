@@ -1,0 +1,103 @@
+"""Tests for windowed (time-averaged) transient accounting."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.host import HostSpec
+from repro.cluster.transients import TransientModel
+from repro.core.actions import MigrateVm
+from repro.core.config import (
+    Configuration,
+    ConstraintLimits,
+    Placement,
+    VmCatalog,
+    VmDescriptor,
+)
+from repro.power.model import HostPowerModel, SystemPowerModel
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def rig():
+    engine = SimulationEngine()
+    catalog = VmCatalog(
+        [
+            VmDescriptor("a-web-0", "a", "web"),
+            VmDescriptor("a-db-0", "a", "db"),
+        ]
+    )
+    cluster = Cluster(
+        [HostSpec("h1"), HostSpec("h2")],
+        catalog,
+        ConstraintLimits(),
+        engine,
+        TransientModel(catalog),  # noise-free
+        SystemPowerModel.uniform(["h1", "h2"], HostPowerModel()),
+        workload_provider=lambda: {"a": 50.0},
+    )
+    cluster.deploy(
+        Configuration(
+            {
+                "a-web-0": Placement("h1", 0.4),
+                "a-db-0": Placement("h1", 0.4),
+            },
+            {"h1", "h2"},
+        )
+    )
+    return engine, cluster
+
+
+def test_windowed_mean_scales_with_overlap(rig):
+    engine, cluster = rig
+    handle = cluster.execute_plan([MigrateVm("a-db-0", "h2")])
+    engine.run_until(500.0)
+    record = handle.records[0]
+    duration = record.spec.duration
+    full_delta = record.spec.rt_delta["a"]
+
+    window = 120.0
+    start = record.start
+    mean = cluster.transient_rt_delta_mean("a", start, start + window)
+    expected = full_delta * min(duration, window) / window
+    assert mean == pytest.approx(expected, rel=1e-6)
+
+
+def test_windowed_mean_zero_outside_effect(rig):
+    engine, cluster = rig
+    handle = cluster.execute_plan([MigrateVm("a-db-0", "h2")])
+    engine.run_until(500.0)
+    end = handle.records[0].end
+    assert cluster.transient_rt_delta_mean("a", end + 1, end + 121) == 0.0
+    assert cluster.transient_power_delta_mean(end + 1, end + 121) == 0.0
+
+
+def test_windowed_power_mean(rig):
+    engine, cluster = rig
+    handle = cluster.execute_plan([MigrateVm("a-db-0", "h2")])
+    engine.run_until(500.0)
+    record = handle.records[0]
+    window_mean = cluster.transient_power_delta_mean(
+        record.start, record.start + 2 * record.spec.duration
+    )
+    assert window_mean == pytest.approx(
+        record.spec.total_power_delta() / 2.0, rel=1e-6
+    )
+
+
+def test_degenerate_window_is_zero(rig):
+    _, cluster = rig
+    assert cluster.transient_rt_delta_mean("a", 10.0, 10.0) == 0.0
+    assert cluster.transient_power_delta_mean(20.0, 10.0) == 0.0
+
+
+def test_effects_survive_for_recent_windows(rig):
+    engine, cluster = rig
+    handle = cluster.execute_plan([MigrateVm("a-db-0", "h2")])
+    engine.run_until(500.0)
+    # Instantaneous queries prune, but recent history must remain
+    # available for windowed averages.
+    cluster.transient_rt_delta("a")
+    record = handle.records[0]
+    assert (
+        cluster.transient_rt_delta_mean("a", record.start, record.end) > 0.0
+    )

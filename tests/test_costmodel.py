@@ -1,0 +1,212 @@
+"""Tests for cost tables, the measurement campaign, and the Cost Manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import (
+    AddReplica,
+    IncreaseCpu,
+    MigrateVm,
+    NullAction,
+    PowerOffHost,
+    PowerOnHost,
+)
+from repro.costmodel.measurement import MeasurementCampaign
+from repro.costmodel.table import CostEntry, CostTable
+
+
+# -- CostTable ---------------------------------------------------------------
+
+
+def entry(duration=10.0):
+    return CostEntry(
+        duration=duration,
+        primary_rt_delta=0.1,
+        colocated_rt_delta=0.04,
+        power_delta_watts=12.0,
+    )
+
+
+def test_nearest_workload_lookup():
+    table = CostTable()
+    table.add("migrate", "db", 10.0, entry(10.0))
+    table.add("migrate", "db", 50.0, entry(50.0))
+    table.add("migrate", "db", 100.0, entry(100.0))
+    assert table.lookup("migrate", "db", 0.0).duration == 10.0
+    assert table.lookup("migrate", "db", 28.0).duration == 10.0
+    assert table.lookup("migrate", "db", 32.0).duration == 50.0
+    assert table.lookup("migrate", "db", 500.0).duration == 100.0
+
+
+def test_tier_fallback_to_dash():
+    table = CostTable()
+    table.add("power_on", "-", 0.0, entry(90.0))
+    assert table.lookup("power_on", "db", 50.0).duration == 90.0
+
+
+def test_missing_entry_raises():
+    with pytest.raises(KeyError):
+        CostTable().lookup("migrate", "db", 10.0)
+
+
+def test_duplicate_workload_rejected():
+    table = CostTable()
+    table.add("migrate", "db", 10.0, entry())
+    with pytest.raises(ValueError):
+        table.add("migrate", "db", 10.0, entry())
+
+
+def test_entries_sorted_and_len():
+    table = CostTable()
+    table.add("migrate", "db", 50.0, entry())
+    table.add("migrate", "db", 10.0, entry())
+    assert table.workload_levels("migrate", "db") == (10.0, 50.0)
+    assert len(table) == 2
+    assert [w for w, _ in table.entries("migrate", "db")] == [10.0, 50.0]
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        CostEntry(-1.0, 0.0, 0.0, 0.0)
+    table = CostTable()
+    with pytest.raises(ValueError):
+        table.add("migrate", "db", -5.0, entry())
+
+
+# -- measurement campaign -------------------------------------------------------
+
+
+def test_campaign_covers_all_action_families(cost_table):
+    kinds = {kind for kind, _ in cost_table.keys()}
+    assert kinds == {
+        "migrate",
+        "increase_cpu",
+        "decrease_cpu",
+        "add_replica",
+        "remove_replica",
+        "power_on",
+        "power_off",
+    }
+
+
+def test_campaign_costs_grow_with_workload(cost_table):
+    levels = cost_table.workload_levels("migrate", "db")
+    low = cost_table.lookup("migrate", "db", levels[0])
+    high = cost_table.lookup("migrate", "db", levels[-1])
+    assert high.duration > low.duration
+    assert high.primary_rt_delta > low.primary_rt_delta
+
+
+def test_campaign_mysql_replica_is_slowest_action(cost_table):
+    peak = 100.0
+    add_db = cost_table.lookup("add_replica", "db", peak).duration
+    migrate_db = cost_table.lookup("migrate", "db", peak).duration
+    assert add_db > migrate_db
+    assert add_db > 50.0  # paper Fig. 7c: ~70 s at peak
+
+
+def test_campaign_colocated_delta_smaller_than_primary(cost_table):
+    for kind, tier in cost_table.keys():
+        if kind in ("power_on", "power_off", "increase_cpu", "decrease_cpu"):
+            continue
+        for _, measured in cost_table.entries(kind, tier):
+            assert measured.colocated_rt_delta <= measured.primary_rt_delta
+
+
+def test_campaign_validation(apps, limits):
+    with pytest.raises(ValueError):
+        MeasurementCampaign(
+            apps.get("RUBiS-1"),
+            apps.get("RUBiS-2"),
+            host_ids=["only-one"],
+            limits=limits,
+        )
+    with pytest.raises(ValueError):
+        MeasurementCampaign(
+            apps.get("RUBiS-1"),
+            apps.get("RUBiS-2"),
+            host_ids=["a", "b"],
+            limits=limits,
+            placements_per_point=0,
+        )
+
+
+# -- CostManager --------------------------------------------------------------------
+
+
+def test_null_action_is_free(cost_manager, base_configuration):
+    predicted = cost_manager.predict(NullAction(), base_configuration, {})
+    assert predicted.duration == 0.0
+    assert predicted.power_delta_watts == 0.0
+
+
+def test_migration_prediction_uses_primary_workload(
+    cost_manager, base_configuration
+):
+    low = cost_manager.predict(
+        MigrateVm("RUBiS-1-db-0", "host-0"),
+        base_configuration,
+        {"RUBiS-1": 12.5, "RUBiS-2": 100.0},
+    )
+    high = cost_manager.predict(
+        MigrateVm("RUBiS-1-db-0", "host-0"),
+        base_configuration,
+        {"RUBiS-1": 100.0, "RUBiS-2": 12.5},
+    )
+    assert high.duration > low.duration
+    assert high.rt_delta["RUBiS-1"] > low.rt_delta["RUBiS-1"]
+
+
+def test_migration_rt_deltas_cover_colocated_apps(
+    cost_manager, base_configuration
+):
+    predicted = cost_manager.predict(
+        MigrateVm("RUBiS-1-db-0", "host-0"),
+        base_configuration,
+        {"RUBiS-1": 50.0, "RUBiS-2": 50.0},
+    )
+    assert "RUBiS-1" in predicted.rt_delta
+    assert "RUBiS-2" in predicted.rt_delta  # co-located on both hosts
+    assert (
+        predicted.rt_delta["RUBiS-2"] < predicted.rt_delta["RUBiS-1"]
+    )
+
+
+def test_cap_change_duration_scales_with_count(
+    cost_manager, base_configuration
+):
+    single = cost_manager.predict(
+        IncreaseCpu("RUBiS-1-db-0", 0.1),
+        base_configuration,
+        {"RUBiS-1": 50.0, "RUBiS-2": 50.0},
+    )
+    triple = cost_manager.predict(
+        IncreaseCpu("RUBiS-1-db-0", 0.1, count=3),
+        base_configuration,
+        {"RUBiS-1": 50.0, "RUBiS-2": 50.0},
+    )
+    assert triple.duration == pytest.approx(3 * single.duration)
+
+
+def test_power_cycle_predictions(cost_manager, base_configuration):
+    on = cost_manager.predict(
+        PowerOnHost("host-2"), base_configuration, {"RUBiS-1": 50.0}
+    )
+    off = cost_manager.predict(
+        PowerOffHost("host-2"),
+        base_configuration.power_on("host-2"),
+        {"RUBiS-1": 50.0},
+    )
+    assert 60.0 <= on.duration <= 120.0
+    assert 20.0 <= off.duration <= 45.0
+    assert on.power_delta_watts > off.power_delta_watts
+
+
+def test_add_replica_prediction(cost_manager, base_configuration):
+    predicted = cost_manager.predict(
+        AddReplica("RUBiS-1", "db", "host-0", 0.2),
+        base_configuration,
+        {"RUBiS-1": 75.0, "RUBiS-2": 10.0},
+    )
+    assert predicted.duration > 30.0
+    assert predicted.rt_delta["RUBiS-1"] > 0.0

@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+The examples run multi-hour simulated horizons when invoked directly;
+here we import them and exercise their building blocks on shortened
+horizons so the suite stays fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist_and_import():
+    for name in (
+        "quickstart",
+        "flash_crowd",
+        "hierarchical_datacenter",
+        "custom_application",
+    ):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+
+def test_custom_application_builds():
+    module = load_example("custom_application")
+    app = module.make_ticketing_app()
+    assert app.name == "tickets"
+    assert app.tier("db").max_replicas == 2
+    trace = module.lunchtime_trace()
+    lunch_peak = max(trace.rate(t) for t in range(5400, 7300, 120))
+    morning = trace.rate(600.0)
+    assert lunch_peak > morning
+
+
+def test_custom_application_short_run():
+    module = load_example("custom_application")
+    from repro.apps import ApplicationSet, make_rubis_application
+    from repro.testbed import Testbed, build_mistral
+    from repro.workload.traces import world_cup_trace
+
+    applications = ApplicationSet(
+        [module.make_ticketing_app(), make_rubis_application("RUBiS-1")]
+    )
+    testbed = Testbed(
+        applications,
+        {
+            "tickets": module.lunchtime_trace(),
+            "RUBiS-1": world_cup_trace(variant=0),
+        },
+        host_ids=[f"host-{index}" for index in range(4)],
+        seed=7,
+    )
+    controller, initial = build_mistral(testbed)
+    metrics = testbed.run(controller, initial, "custom", horizon=1800.0)
+    assert "tickets" in metrics.response_times
+    assert metrics.response_times["tickets"].mean() > 0.0

@@ -1,0 +1,86 @@
+"""Tests for figure-module helpers using synthetic run metrics."""
+
+import pytest
+
+from repro.experiments.fig8_strategies import shape_checks
+from repro.experiments.fig9_cumulative_utility import (
+    comparison_rows,
+    ordering_checks,
+)
+from repro.experiments.strategies import Comparison
+from repro.testbed.metrics import RunMetrics, TimeSeries
+
+
+def synthetic_run(strategy, utility_per_interval, power, rt_values):
+    run = RunMetrics(strategy=strategy)
+    for app in ("RUBiS-1", "RUBiS-2"):
+        run.response_times[app] = TimeSeries(app)
+    for index, rt in enumerate(rt_values):
+        time = index * 120.0
+        run.response_times["RUBiS-1"].append(time, rt)
+        run.response_times["RUBiS-2"].append(time, rt / 2)
+        run.power_watts.append(time, power)
+        run.utility_increments.append(time, utility_per_interval)
+    return run
+
+
+class _FakeTestbed:
+    class _Utility:
+        class parameters:
+            target_response_time = 0.4
+
+    utility = _Utility()
+
+
+def synthetic_comparison():
+    runs = {
+        "mistral": synthetic_run("mistral", 1.0, 220.0, [0.2, 0.3, 0.5]),
+        "pwr-cost": synthetic_run("pwr-cost", 0.6, 230.0, [0.2, 0.3, 0.3]),
+        "perf-cost": synthetic_run("perf-cost", 0.2, 310.0, [0.1, 0.1, 0.1]),
+        "perf-pwr": synthetic_run("perf-pwr", -0.5, 225.0, [0.6, 0.9, 1.2]),
+    }
+    # Action counts: perf-pwr adapts most, mistral less.
+    for _ in range(10):
+        runs["perf-pwr"].actions.append(None)
+    for _ in range(3):
+        runs["mistral"].actions.append(None)
+    return Comparison(testbed=_FakeTestbed(), runs=runs)
+
+
+def test_fig9_rows_are_sorted_and_complete():
+    comparison = synthetic_comparison()
+    rows = comparison_rows(comparison)
+    assert [row["strategy"] for row in rows] == [
+        "mistral",
+        "pwr-cost",
+        "perf-cost",
+        "perf-pwr",
+    ]
+    assert all("paper" in row for row in rows)
+
+
+def test_fig9_ordering_checks_pass_on_paper_shape():
+    checks = ordering_checks(synthetic_comparison())
+    assert all(checks.values()), checks
+
+
+def test_fig9_ordering_checks_fail_when_flipped():
+    comparison = synthetic_comparison()
+    comparison.runs["mistral"], comparison.runs["perf-pwr"] = (
+        comparison.runs["perf-pwr"],
+        comparison.runs["mistral"],
+    )
+    # After the swap the dict values no longer match their keys'
+    # intended shapes; mistral's series now loses.
+    checks = ordering_checks(comparison)
+    assert not checks["mistral_wins"]
+
+
+def test_fig8_shape_checks_on_paper_shape():
+    checks = shape_checks(synthetic_comparison())
+    assert checks["perf_cost_burns_most_power"]
+    assert checks["perf_cost_best_response_times"]
+    assert checks["perf_pwr_most_adaptations"]
+    assert checks["perf_pwr_most_violations"]
+    assert checks["mistral_power_below_perf_cost"]
+    assert checks["mistral_fewer_actions_than_perf_pwr"]

@@ -1,0 +1,114 @@
+"""Tests for the lightweight experiment modules (heavy runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments.fig1_migration_cost import SESSION_LEVELS, run_fig1
+from repro.experiments.fig3_utility_function import (
+    crossover_checks,
+    run_fig3,
+)
+from repro.experiments.fig4_workloads import run_fig4, shape_checks
+from repro.experiments.fig6_stability import run_fig6
+from repro.experiments.report import (
+    format_series,
+    format_table,
+    paper_vs_measured,
+)
+
+
+# -- Fig. 1 --------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(seed=0)
+
+
+def test_fig1_covers_all_session_levels(fig1):
+    assert set(fig1) == set(SESSION_LEVELS)
+    for trace in fig1.values():
+        assert len(trace.times) >= 100
+
+
+def test_fig1_deltas_grow_with_sessions(fig1):
+    rt_peaks = [fig1[s].peak_rt_delta() for s in SESSION_LEVELS]
+    power_peaks = [fig1[s].peak_power_delta() for s in SESSION_LEVELS]
+    assert rt_peaks[0] < rt_peaks[-1]
+    assert power_peaks[0] <= power_peaks[-1]
+
+
+def test_fig1_baseline_is_quiet_before_migration(fig1):
+    trace = fig1[400]
+    pre = [
+        value
+        for time, value in zip(trace.times, trace.rt_delta_pct)
+        if time < 25.0
+    ]
+    assert max(abs(v) for v in pre) < 20.0  # only measurement noise
+
+
+def test_fig1_migration_duration_grows(fig1):
+    assert fig1[100].migration_seconds < fig1[800].migration_seconds
+
+
+# -- Fig. 3 / Fig. 4 ---------------------------------------------------------------
+
+
+def test_fig3_shape():
+    rows = run_fig3()
+    assert len(rows) == 21
+    checks = crossover_checks(rows)
+    assert all(checks.values()), checks
+
+
+def test_fig4_shapes():
+    series = run_fig4()
+    assert set(series) == {"RUBiS-1", "RUBiS-2", "RUBiS-3", "RUBiS-4"}
+    checks = shape_checks(series)
+    assert all(checks.values()), checks
+
+
+# -- Fig. 6 --------------------------------------------------------------------------
+
+
+def test_fig6_collects_enough_windows():
+    result = run_fig6()
+    assert len(result.measured) > 20
+    assert len(result.measured) == len(result.estimated)
+    assert result.mean_relative_error() < 1.0
+    assert all(m > 0 for m in result.measured)
+
+
+def test_fig6_band_zero_gives_constant_intervals():
+    result = run_fig6(band_width=0.0, horizon=3600.0)
+    assert set(result.measured) == {120.0}
+
+
+# -- report helpers ---------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(
+        [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="T")
+
+
+def test_format_series_thins_points():
+    series = [(float(i), float(i)) for i in range(100)]
+    text = format_series(series, "s", max_points=10)
+    assert text.startswith("s:")
+    assert len(text.split()) <= 15
+
+
+def test_paper_vs_measured_layout():
+    text = paper_vs_measured([("metric", 1.0, 2.0)], title="X")
+    assert "metric" in text and "paper" in text and "measured" in text

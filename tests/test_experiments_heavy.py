@@ -1,0 +1,76 @@
+"""Tests for the testbed-backed experiment modules (Figs. 5 and 7).
+
+These share the memoized experiment testbed; the strategy-comparison
+experiments (Figs. 8-10, Table I) are exercised by the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments.fig5_model_accuracy import run_fig5
+from repro.experiments.fig7_adaptation_costs import (
+    FIG7_ACTIONS,
+    monotonicity_checks,
+    power_cycle_costs,
+    run_fig7,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(app_count=2, seed=0)
+
+
+def test_fig5_covers_the_flash_crowd_window(fig5):
+    assert len(fig5.points) >= 10
+    assert fig5.points[0].time == pytest.approx(6720.0)
+
+
+def test_fig5_errors_in_reported_range(fig5):
+    assert 0.0 < fig5.rt_error() < 0.20
+    assert 0.0 < fig5.util_error() < 0.10
+    assert 0.0 < fig5.power_error() < 0.10
+
+
+def test_fig5_model_is_not_the_truth(fig5):
+    # If model == experiment everywhere, the calibration split is broken.
+    assert any(
+        abs(p.rt_model - p.rt_experiment) > 1e-6 for p in fig5.points
+    )
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    return run_fig7(app_count=2, seed=0)
+
+
+def test_fig7_covers_all_plotted_actions(fig7_rows):
+    actions = {row["action"] for row in fig7_rows}
+    assert actions == {label for _, _, label in FIG7_ACTIONS}
+
+
+def test_fig7_sessions_axis_matches_paper(fig7_rows):
+    sessions = sorted({row["sessions"] for row in fig7_rows})
+    assert sessions[0] == 100 and sessions[-1] == 800
+
+
+def test_fig7_costs_grow_with_workload(fig7_rows):
+    checks = monotonicity_checks(fig7_rows)
+    assert all(checks.values()), checks
+
+
+def test_fig7_magnitudes_match_paper_shapes(fig7_rows):
+    mysql_add = [
+        row for row in fig7_rows if row["action"] == "Add replica (MySQL)"
+    ]
+    peak = max(float(row["delay_ms"]) for row in mysql_add)
+    assert 50_000 <= peak <= 120_000  # paper Fig. 7c: ~70 s
+    deltas = [float(row["delta_watt_pct"]) for row in fig7_rows]
+    assert all(2.0 <= value <= 30.0 for value in deltas)
+
+
+def test_power_cycle_costs_match_section_vb():
+    cycles = power_cycle_costs(app_count=2, seed=0)
+    assert cycles["power_on"]["duration_s"] == pytest.approx(90.0, rel=0.15)
+    assert cycles["power_on"]["delta_watts"] == pytest.approx(80.0, rel=0.15)
+    assert cycles["power_off"]["duration_s"] == pytest.approx(30.0, rel=0.15)
+    assert cycles["power_off"]["delta_watts"] == pytest.approx(20.0, rel=0.15)

@@ -1,0 +1,64 @@
+"""Tests for the online model-feedback calibration."""
+
+import pytest
+
+from repro.core.feedback import ModelFeedback
+
+
+def test_default_factor_is_one():
+    feedback = ModelFeedback()
+    assert feedback.factor("app") == 1.0
+    assert feedback.corrected_target("app", 0.4) == pytest.approx(0.4)
+
+
+def test_persistent_bias_converges():
+    feedback = ModelFeedback()
+    for _ in range(30):
+        feedback.observe({"app": 0.5}, {"app": 0.4})
+    assert feedback.factor("app") == pytest.approx(1.25, rel=0.02)
+    assert feedback.corrected_target("app", 0.4) == pytest.approx(
+        0.4 / 1.25, rel=0.02
+    )
+
+
+def test_observation_clamp_bounds_spikes():
+    feedback = ModelFeedback()
+    feedback.observe({"app": 100.0}, {"app": 0.1})  # transient spike
+    # A single observation moves the EWMA by at most smoothing * clamp.
+    assert feedback.factor("app") <= 1.0 + 0.3 * 1.0 + 1e-9
+
+
+def test_factor_clamp():
+    feedback = ModelFeedback()
+    for _ in range(100):
+        feedback.observe({"app": 10.0}, {"app": 0.1})
+    assert feedback.factor("app") == pytest.approx(1.5)
+    for _ in range(200):
+        feedback.observe({"app": 0.01}, {"app": 1.0})
+    assert feedback.factor("app") == pytest.approx(0.9)
+
+
+def test_version_bumps_on_update_only():
+    feedback = ModelFeedback()
+    version = feedback.version
+    feedback.observe({"app": 0.5}, {})  # no prediction: no update
+    assert feedback.version == version
+    feedback.observe({"app": 0.5}, {"app": 0.4})
+    assert feedback.version == version + 1
+
+
+def test_zero_values_ignored():
+    feedback = ModelFeedback()
+    feedback.observe({"app": 0.0}, {"app": 0.4})
+    feedback.observe({"app": 0.4}, {"app": 0.0})
+    assert feedback.factor("app") == 1.0
+
+
+def test_apps_tracked_independently():
+    feedback = ModelFeedback()
+    for _ in range(20):
+        feedback.observe(
+            {"slow": 0.6, "fine": 0.4}, {"slow": 0.4, "fine": 0.4}
+        )
+    assert feedback.factor("slow") > 1.2
+    assert feedback.factor("fine") == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""End-to-end integration tests: short runs of every strategy.
+
+Full-horizon comparisons live in benchmarks/; these runs cover the
+first 70 minutes (through the start of the flash-crowd ramp) and check
+the machinery, not the headline numbers.
+"""
+
+import pytest
+
+from repro.testbed.scenarios import (
+    build_mistral,
+    build_perf_cost,
+    build_perf_pwr,
+    build_pwr_cost,
+)
+
+HORIZON = 70 * 60.0
+
+
+@pytest.fixture(scope="module")
+def tb():
+    from repro.testbed import make_testbed
+
+    return make_testbed(app_count=2, seed=0)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [build_mistral, build_perf_pwr, build_perf_cost, build_pwr_cost],
+    ids=["mistral", "perf-pwr", "perf-cost", "pwr-cost"],
+)
+def test_strategy_runs_end_to_end(tb, builder):
+    controller, initial = builder(tb)
+    metrics = tb.run(controller, initial, "integration", horizon=HORIZON)
+    expected_samples = int(HORIZON // 120) + 1
+    assert len(metrics.power_watts) == expected_samples
+    # Sane physical ranges.
+    assert 50.0 <= metrics.mean_power() <= 450.0
+    for series in metrics.response_times.values():
+        assert 0.0 < series.mean() < 10.0
+    assert 1 <= metrics.hosts_powered.maximum() <= 4
+
+
+def test_mistral_meets_targets_at_moderate_load(tb):
+    controller, initial = build_mistral(tb)
+    metrics = tb.run(controller, initial, "integration", horizon=HORIZON)
+    target = tb.utility.parameters.target_response_time
+    # The first 70 minutes are light load; misses should be rare.
+    for app, series in metrics.response_times.items():
+        assert series.fraction_above(target) < 0.3, app
+
+
+def test_mistral_consolidates_at_light_load(tb):
+    controller, initial = build_mistral(tb)
+    metrics = tb.run(controller, initial, "integration", horizon=HORIZON)
+    # Light load: two hosts suffice most of the time.
+    assert metrics.hosts_powered.mean() < 3.0
+
+
+def test_actions_have_valid_records(tb):
+    controller, initial = build_mistral(tb)
+    metrics = tb.run(controller, initial, "integration", horizon=HORIZON)
+    for record in metrics.actions:
+        assert record.end >= record.start >= 0.0
+        assert record.controller
+        assert record.description
+
+
+def test_search_power_metered_during_decisions(tb):
+    controller, initial = build_mistral(tb)
+    metrics = tb.run(controller, initial, "integration", horizon=HORIZON)
+    if len(metrics.search_seconds):
+        assert metrics.search_power_watts.maximum() > 0.0
+
+
+def test_hierarchy_stats_populated(tb):
+    hierarchy, initial = build_mistral(tb)
+    tb.run(hierarchy, initial, "integration", horizon=HORIZON)
+    assert hierarchy.level2.stats.invocations > 0
+    assert all(
+        controller.stats.invocations > 0 for controller in hierarchy.level1
+    )
+    durations = hierarchy.mean_search_seconds()
+    assert durations["overall"] >= 0.0

@@ -1,0 +1,154 @@
+"""Tests for the Perf-Pwr optimizer."""
+
+import pytest
+
+from repro.core.perf_pwr import CapacityPlan, PerfPwrOptimizer
+
+
+# -- CapacityPlan ----------------------------------------------------------------
+
+
+def test_capacity_plan_operations():
+    plan = CapacityPlan({"a": 0.4, "b": 0.3})
+    assert plan.total_cap() == pytest.approx(0.7)
+    reduced = plan.reduce_cap("a", 0.1)
+    assert reduced.caps["a"] == pytest.approx(0.3)
+    dropped = plan.drop_vm("b")
+    assert "b" not in dropped.caps
+    # original untouched
+    assert plan.caps == {"a": 0.4, "b": 0.3}
+
+
+# -- optimize ----------------------------------------------------------------------
+
+
+def test_optimal_config_is_feasible(optimizer, catalog, limits):
+    result = optimizer.optimize({"RUBiS-1": 50.0, "RUBiS-2": 50.0})
+    assert result.configuration.is_candidate(catalog, limits)
+
+
+def test_low_load_consolidates_to_fewer_hosts(optimizer):
+    low = optimizer.optimize({"RUBiS-1": 10.0, "RUBiS-2": 10.0})
+    high = optimizer.optimize({"RUBiS-1": 95.0, "RUBiS-2": 90.0})
+    assert low.hosts_used <= 2
+    assert high.hosts_used >= 3
+    assert len(low.configuration.powered_hosts) <= len(
+        high.configuration.powered_hosts
+    )
+
+
+def test_high_load_meets_planning_target(optimizer, estimator):
+    workloads = {"RUBiS-1": 90.0, "RUBiS-2": 85.0}
+    result = optimizer.optimize(workloads)
+    utility = estimator.utility
+    for app, rate in workloads.items():
+        assert result.estimate.response_times[app] <= utility.target_response_time(
+            app, rate
+        )
+
+
+def test_ideal_rate_combines_perf_and_power(optimizer):
+    result = optimizer.optimize({"RUBiS-1": 40.0, "RUBiS-2": 40.0})
+    assert result.ideal_rate == pytest.approx(
+        result.perf_rate + result.power_rate
+    )
+    assert result.power_rate < 0
+
+
+def test_alternatives_cover_host_counts(optimizer):
+    result = optimizer.optimize({"RUBiS-1": 60.0, "RUBiS-2": 55.0})
+    assert result in result.alternatives or any(
+        alt.configuration == result.configuration
+        for alt in result.alternatives
+    )
+    assert len(result.alternatives) >= 2
+    assert all(
+        alt.ideal_rate <= result.ideal_rate + 1e-12
+        for alt in result.alternatives
+    )
+
+
+def test_optimize_is_memoized(optimizer):
+    first = optimizer.optimize({"RUBiS-1": 42.0, "RUBiS-2": 17.0})
+    second = optimizer.optimize({"RUBiS-1": 42.0, "RUBiS-2": 17.0})
+    assert second is first
+
+
+def test_every_tier_keeps_minimum_replicas(optimizer, catalog, apps):
+    result = optimizer.optimize({"RUBiS-1": 30.0, "RUBiS-2": 70.0})
+    for app in apps:
+        for tier in app.tiers:
+            placed = result.configuration.replica_count(
+                catalog, app.name, tier.name
+            )
+            assert placed >= tier.min_replicas
+
+
+# -- minimal capacities ---------------------------------------------------------------
+
+
+def test_minimal_capacities_meet_targets(optimizer, estimator, catalog):
+    from repro.core.config import Configuration, Placement
+
+    workloads = {"RUBiS-1": 70.0, "RUBiS-2": 65.0}
+    plan = optimizer.minimal_capacities(workloads)
+    # Evaluate the plan on pseudo hosts: caps determine response times.
+    config = Configuration(
+        {vm: Placement(f"p-{vm}", cap) for vm, cap in plan.caps.items()},
+        {f"p-{vm}" for vm in plan.caps},
+    )
+    performance = estimator.solver.solve(config, workloads)
+    utility = estimator.utility
+    for app, rate in workloads.items():
+        assert performance.response_times[app] <= utility.target_response_time(
+            app, rate
+        )
+
+
+def test_minimal_capacities_smaller_at_lower_load(optimizer):
+    low = optimizer.minimal_capacities({"RUBiS-1": 20.0, "RUBiS-2": 20.0})
+    high = optimizer.minimal_capacities({"RUBiS-1": 90.0, "RUBiS-2": 90.0})
+    assert low.total_cap() < high.total_cap()
+
+
+def test_minimal_capacities_memoized(optimizer):
+    a = optimizer.minimal_capacities({"RUBiS-1": 33.0, "RUBiS-2": 44.0})
+    b = optimizer.minimal_capacities({"RUBiS-1": 33.0, "RUBiS-2": 44.0})
+    assert b is a
+
+
+# -- packing ------------------------------------------------------------------------
+
+
+def test_pack_respects_limits(optimizer, catalog, limits):
+    plan = CapacityPlan(
+        {descriptor.vm_id: 0.2 for descriptor in catalog}
+    )
+    packed = optimizer._pack(plan, optimizer.host_ids)
+    assert packed is not None
+    assert packed.is_candidate(catalog, limits)
+
+
+def test_pack_fails_when_capacity_insufficient(optimizer, catalog):
+    plan = CapacityPlan(
+        {descriptor.vm_id: 0.8 for descriptor in catalog}
+    )
+    # 10 VMs x 0.8 = 8.0 total demand > 4 hosts x 0.8 = 3.2.
+    assert optimizer._pack(plan, optimizer.host_ids) is None
+
+
+def test_pack_prefers_fewest_hosts_needed(optimizer, catalog):
+    plan = CapacityPlan({"RUBiS-1-web-0": 0.2, "RUBiS-1-db-0": 0.2})
+    packed = optimizer._pack(plan, optimizer.host_ids)
+    assert packed is not None
+    assert len(packed.powered_hosts) == 1
+
+
+def test_min_hosts_threshold(optimizer):
+    # 6 minimum VMs at 0.2 cap => at least 2 hosts (cpu bound 1.5 -> 2).
+    assert optimizer._min_hosts() == 2
+
+
+def test_empty_host_list_rejected(apps, catalog, limits, estimator):
+    with pytest.raises(ValueError):
+        PerfPwrOptimizer(apps, catalog, limits, estimator, [])

@@ -1,0 +1,66 @@
+"""The public API surface stays importable and documented."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.sim",
+    "repro.cluster",
+    "repro.apps",
+    "repro.perfmodel",
+    "repro.power",
+    "repro.workload",
+    "repro.costmodel",
+    "repro.core",
+    "repro.baselines",
+    "repro.testbed",
+    "repro.experiments",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_subpackages_import_and_have_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a docstring"
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_symbol
+
+
+def test_core_lazy_exports_resolve():
+    import repro.core as core
+
+    for name in core.__all__:
+        assert getattr(core, name) is not None
+    with pytest.raises(AttributeError):
+        core.not_a_symbol
+
+
+def test_public_classes_have_docstrings():
+    from repro.core.controller import MistralController
+    from repro.core.perf_pwr import PerfPwrOptimizer
+    from repro.core.search import AdaptationSearch
+    from repro.testbed.testbed import Testbed
+
+    for cls in (MistralController, PerfPwrOptimizer, AdaptationSearch, Testbed):
+        assert cls.__doc__
+        for attr_name in dir(cls):
+            attribute = getattr(cls, attr_name)
+            if callable(attribute) and not attr_name.startswith("_"):
+                assert attribute.__doc__, f"{cls.__name__}.{attr_name}"

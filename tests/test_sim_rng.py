@@ -1,0 +1,49 @@
+"""Tests for the seeded random-stream family."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RandomStreams(42).stream("noise")
+    b = RandomStreams(42).stream("noise")
+    assert list(a.random(5)) == list(b.random(5))
+
+
+def test_different_streams_are_independent():
+    streams = RandomStreams(42)
+    a = streams.stream("alpha").random(5)
+    b = streams.stream("beta").random(5)
+    assert list(a) != list(b)
+
+
+def test_stream_is_cached_not_recreated():
+    streams = RandomStreams(0)
+    first = streams.stream("x")
+    first.random(3)
+    again = streams.stream("x")
+    assert again is first
+
+
+def test_adding_a_consumer_does_not_perturb_others():
+    solo = RandomStreams(7)
+    solo_draws = list(solo.stream("main").random(4))
+
+    shared = RandomStreams(7)
+    shared.stream("extra").random(10)  # a new consumer appears first
+    assert list(shared.stream("main").random(4)) == solo_draws
+
+
+def test_fork_changes_the_universe():
+    base = RandomStreams(3)
+    fork = base.fork("run:mistral")
+    assert list(base.stream("m").random(3)) != list(fork.stream("m").random(3))
+
+
+def test_fork_is_deterministic():
+    a = RandomStreams(3).fork("x").stream("s").random(4)
+    b = RandomStreams(3).fork("x").stream("s").random(4)
+    assert list(a) == list(b)
+
+
+def test_seed_property():
+    assert RandomStreams(11).seed == 11

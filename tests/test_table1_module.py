@@ -1,0 +1,56 @@
+"""Tests for the Table I module's pure pieces (runs live in benchmarks)."""
+
+from repro.experiments.table1_scalability import (
+    PAPER_TABLE1,
+    ScenarioRow,
+    scaling_checks,
+)
+
+
+def row(app_count, aware, naive, mistral, ideal):
+    return ScenarioRow(
+        app_count=app_count,
+        vm_count=5 * app_count,
+        host_count=2 * app_count,
+        self_aware_overall_s=aware,
+        self_aware_level1_s=aware * 0.8,
+        self_aware_level2_s=aware * 1.5,
+        naive_overall_s=naive,
+        naive_level1_s=naive * 0.7,
+        naive_level2_s=naive * 3.0,
+        mistral_utility=mistral,
+        ideal_utility=ideal,
+    )
+
+
+def test_paper_reference_values_present():
+    assert set(PAPER_TABLE1) == {2, 3, 4}
+    for values in PAPER_TABLE1.values():
+        assert values["ideal_utility"] > values["mistral_utility"]
+        assert values["naive_ms"] > values["self_aware_ms"]
+
+
+def test_scaling_checks_pass_on_paper_shape():
+    rows = [
+        row(2, 3.8, 4.3, 152.3, 351.7),
+        row(3, 5.7, 11.3, 336.6, 538.3),
+        row(4, 7.5, 35.2, 504.8, 701.9),
+    ]
+    checks = scaling_checks(rows)
+    assert all(checks.values()), checks
+
+
+def test_scaling_checks_flag_inverted_scaling():
+    rows = [
+        row(2, 3.8, 35.0, 152.3, 351.7),
+        row(3, 5.7, 11.3, 336.6, 538.3),
+        row(4, 7.5, 4.0, 504.8, 701.9),
+    ]
+    checks = scaling_checks(rows)
+    assert not checks["naive_grows"]
+
+
+def test_scaling_checks_flag_unbounded_mistral():
+    rows = [row(2, 3.8, 4.3, 400.0, 351.7)]
+    checks = scaling_checks(rows)
+    assert not checks["ideal_bounds_mistral"]
