@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Run the search/solver perf harness and write ``BENCH_search.json``.
+
+Usage::
+
+    python scripts/run_benchmarks.py                  # measure, write JSON
+    python scripts/run_benchmarks.py --runs 3 --sizes 2 3
+    python scripts/run_benchmarks.py --baseline-src /path/to/old/src
+
+The output records the current tree's numbers next to the pre-change
+baseline (either the numbers recorded in
+``benchmarks/perf/baseline_data.py`` or a live measurement of another
+checkout via ``--baseline-src``) and the per-scenario speedups, so the
+performance trajectory travels with the repository.  See DESIGN.md's
+"Performance architecture" section for how to read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _bootstrap(src: Path) -> None:
+    """Put one tree's ``src`` (and the harness) on sys.path, clearing
+    any previously imported ``repro`` modules."""
+    for name in [name for name in sys.modules if name.startswith("repro")]:
+        del sys.modules[name]
+    sys.path[:] = [
+        entry
+        for entry in sys.path
+        if not entry.endswith("/src") or Path(entry) == src
+    ]
+    for path in (str(src), str(REPO_ROOT / "benchmarks" / "perf")):
+        if path in sys.path:
+            sys.path.remove(path)
+        sys.path.insert(0, path)
+
+
+def _measure(src: Path, sizes: tuple[int, ...], runs: int,
+             incremental_only: bool) -> dict:
+    _bootstrap(src)
+    for name in [
+        name for name in sys.modules if name.startswith("search_harness")
+    ]:
+        del sys.modules[name]
+    import search_harness
+
+    return search_harness.run_suite(
+        sizes=sizes, runs=runs, incremental_only=incremental_only
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_search.json",
+        help="where to write the results (default: repo root)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="searches per scenario"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[2, 3, 4],
+        help="scenario sizes (app counts) to benchmark",
+    )
+    parser.add_argument(
+        "--baseline-src",
+        type=Path,
+        default=None,
+        help="src/ of a pre-change checkout: measure the baseline live "
+        "instead of using the recorded numbers",
+    )
+    parser.add_argument(
+        "--skip-full-eval",
+        action="store_true",
+        help="skip the search variants with the incremental engine off",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    sizes = tuple(args.sizes)
+
+    print(f"measuring current tree ({REPO_ROOT / 'src'}) ...", flush=True)
+    current = _measure(
+        REPO_ROOT / "src", sizes, args.runs, args.skip_full_eval
+    )
+
+    if args.baseline_src is not None:
+        print(f"measuring baseline ({args.baseline_src}) ...", flush=True)
+        baseline_payload = _measure(
+            args.baseline_src.resolve(), sizes, args.runs, True
+        )
+        baseline = {
+            "source": str(args.baseline_src),
+            "note": "measured live from --baseline-src",
+            **baseline_payload,
+        }
+    else:
+        _bootstrap(REPO_ROOT / "src")
+        import baseline_data
+
+        baseline = baseline_data.BASELINE
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        if dirty:
+            commit += "-dirty"
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+
+    import search_harness
+
+    payload = {
+        "meta": {
+            "commit": commit,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "runs_per_scenario": args.runs,
+            "sizes": list(sizes),
+        },
+        "baseline": baseline,
+        "current": current,
+        "speedup_vs_baseline": search_harness.summarize_speedup(
+            current["search"], baseline["search"]
+        ),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for scenario, entry in payload["speedup_vs_baseline"].items():
+        printable = {
+            label: (f"{ratio:.2f}x" if ratio else "n/a")
+            for label, ratio in entry.items()
+        }
+        print(f"  {scenario}: {printable}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

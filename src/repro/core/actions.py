@@ -60,6 +60,44 @@ class AdaptationAction(ABC):
         """Cost-table index: ``(action family, tier name or '-')``."""
         return (self.kind, "-")
 
+    def changed_vm_ids(
+        self, configuration: Configuration, catalog: VmCatalog
+    ) -> frozenset[str]:
+        """VMs whose placement or cap this action changes.
+
+        ``configuration`` is the state the action applies *to* (the
+        parent); the default covers actions touching no VM (null, host
+        power).  This is the delta contract the incremental evaluators
+        rely on: the LQN solver re-solves only the tiers owning these
+        VMs, the search updates only their distance/cost-to-go terms.
+        Only meaningful when :meth:`apply` would succeed.
+        """
+        return frozenset()
+
+    def placement_delta(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
+        """The placement edits :meth:`apply` would make, without
+        building the child configuration.
+
+        Returns ``(vm_id, new_placement)`` pairs (``None`` placement =
+        the VM goes dormant) and raises :class:`ActionError` exactly
+        when :meth:`apply` would.  Host power actions move no VM and
+        return an empty tuple.  The search's pruned expansions rank
+        children by this delta alone and only materialize the few they
+        keep.
+        """
+        # Safe default for subclasses that don't specialize: apply for
+        # real and read the edits off the child.
+        child = self.apply(configuration, catalog, limits)
+        return tuple(
+            (vm_id, child.placement_of(vm_id))
+            for vm_id in sorted(self.changed_vm_ids(configuration, catalog))
+        )
+
     def is_applicable(
         self,
         configuration: Configuration,
@@ -96,6 +134,14 @@ class NullAction(AdaptationAction):
     def affected_hosts(self, configuration: Configuration) -> frozenset[str]:
         return frozenset()
 
+    def placement_delta(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
+        return ()
+
     def __str__(self) -> str:
         return "null"
 
@@ -122,12 +168,12 @@ class _CpuCapChange(AdaptationAction):
     def _signed_step(self) -> float:
         raise NotImplementedError
 
-    def apply(
+    def placement_delta(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
-    ) -> Configuration:
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
         placement = configuration.placement_of(self.vm_id)
         if placement is None:
             raise ActionError(f"VM {self.vm_id!r} is not placed")
@@ -142,7 +188,18 @@ class _CpuCapChange(AdaptationAction):
                 f"cap {new_cap:.2f} would exceed the per-host guest share "
                 f"{limits.max_total_cpu_cap:.2f}"
             )
-        return configuration.replace(self.vm_id, placement.with_cap(new_cap))
+        return ((self.vm_id, placement.with_cap(new_cap)),)
+
+    def apply(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> Configuration:
+        ((vm_id, placement),) = self.placement_delta(
+            configuration, catalog, limits
+        )
+        return configuration.replace(vm_id, placement)
 
     def affected_apps(
         self, configuration: Configuration, catalog: VmCatalog
@@ -155,6 +212,11 @@ class _CpuCapChange(AdaptationAction):
 
     def cost_key(self, catalog: VmCatalog) -> tuple[str, str]:
         return (self.kind, catalog.get(self.vm_id).tier_name)
+
+    def changed_vm_ids(
+        self, configuration: Configuration, catalog: VmCatalog
+    ) -> frozenset[str]:
+        return frozenset({self.vm_id})
 
 
 @dataclass(frozen=True)
@@ -191,12 +253,12 @@ class MigrateVm(AdaptationAction):
     vm_id: str
     target_host: str
 
-    def apply(
+    def placement_delta(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
-    ) -> Configuration:
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
         placement = configuration.placement_of(self.vm_id)
         if placement is None:
             raise ActionError(f"VM {self.vm_id!r} is not placed")
@@ -204,9 +266,18 @@ class MigrateVm(AdaptationAction):
             raise ActionError(f"VM {self.vm_id!r} is already on {self.target_host!r}")
         if self.target_host not in configuration.powered_hosts:
             raise ActionError(f"target host {self.target_host!r} is not powered")
-        return configuration.replace(
-            self.vm_id, placement.with_host(self.target_host)
+        return ((self.vm_id, placement.with_host(self.target_host)),)
+
+    def apply(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> Configuration:
+        ((vm_id, placement),) = self.placement_delta(
+            configuration, catalog, limits
         )
+        return configuration.replace(vm_id, placement)
 
     def affected_apps(
         self, configuration: Configuration, catalog: VmCatalog
@@ -231,6 +302,11 @@ class MigrateVm(AdaptationAction):
 
     def cost_key(self, catalog: VmCatalog) -> tuple[str, str]:
         return (self.kind, catalog.get(self.vm_id).tier_name)
+
+    def changed_vm_ids(
+        self, configuration: Configuration, catalog: VmCatalog
+    ) -> frozenset[str]:
+        return frozenset({self.vm_id})
 
     def __str__(self) -> str:
         return f"migrate({self.vm_id} -> {self.target_host})"
@@ -280,12 +356,12 @@ class AddReplica(AdaptationAction):
             f"no dormant replica of {self.app_name}/{self.tier_name} available"
         )
 
-    def apply(
+    def placement_delta(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
-    ) -> Configuration:
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
         if self.target_host not in configuration.powered_hosts:
             raise ActionError(f"target host {self.target_host!r} is not powered")
         if self.cpu_cap < limits.min_vm_cpu_cap - 1e-9:
@@ -294,9 +370,18 @@ class AddReplica(AdaptationAction):
                 f"{limits.min_vm_cpu_cap:.2f}"
             )
         vm_id = self._dormant_vm(configuration, catalog)
-        return configuration.replace(
-            vm_id, Placement(self.target_host, self.cpu_cap)
+        return ((vm_id, Placement(self.target_host, self.cpu_cap)),)
+
+    def apply(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> Configuration:
+        ((vm_id, placement),) = self.placement_delta(
+            configuration, catalog, limits
         )
+        return configuration.replace(vm_id, placement)
 
     def affected_apps(
         self, configuration: Configuration, catalog: VmCatalog
@@ -312,6 +397,11 @@ class AddReplica(AdaptationAction):
     def cost_key(self, catalog: VmCatalog) -> tuple[str, str]:
         return (self.kind, self.tier_name)
 
+    def changed_vm_ids(
+        self, configuration: Configuration, catalog: VmCatalog
+    ) -> frozenset[str]:
+        return frozenset({self._dormant_vm(configuration, catalog)})
+
     def __str__(self) -> str:
         return (
             f"add_replica({self.app_name}/{self.tier_name} -> "
@@ -326,12 +416,12 @@ class RemoveReplica(AdaptationAction):
     kind = "remove_replica"
     vm_id: str
 
-    def apply(
+    def placement_delta(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
-    ) -> Configuration:
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
         if not configuration.is_placed(self.vm_id):
             raise ActionError(f"VM {self.vm_id!r} is not placed")
         descriptor = catalog.get(self.vm_id)
@@ -343,6 +433,15 @@ class RemoveReplica(AdaptationAction):
                 f"cannot remove the last replica of "
                 f"{descriptor.app_name}/{descriptor.tier_name}"
             )
+        return ((self.vm_id, None),)
+
+    def apply(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> Configuration:
+        self.placement_delta(configuration, catalog, limits)
         return configuration.remove(self.vm_id)
 
     def affected_apps(
@@ -362,6 +461,11 @@ class RemoveReplica(AdaptationAction):
     def cost_key(self, catalog: VmCatalog) -> tuple[str, str]:
         return (self.kind, catalog.get(self.vm_id).tier_name)
 
+    def changed_vm_ids(
+        self, configuration: Configuration, catalog: VmCatalog
+    ) -> frozenset[str]:
+        return frozenset({self.vm_id})
+
     def __str__(self) -> str:
         return f"remove_replica({self.vm_id})"
 
@@ -373,14 +477,23 @@ class PowerOnHost(AdaptationAction):
     kind = "power_on"
     host_id: str
 
+    def placement_delta(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
+        if self.host_id in configuration.powered_hosts:
+            raise ActionError(f"host {self.host_id!r} is already powered on")
+        return ()
+
     def apply(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
     ) -> Configuration:
-        if self.host_id in configuration.powered_hosts:
-            raise ActionError(f"host {self.host_id!r} is already powered on")
+        self.placement_delta(configuration, catalog, limits)
         return configuration.power_on(self.host_id)
 
     def affected_apps(
@@ -402,16 +515,25 @@ class PowerOffHost(AdaptationAction):
     kind = "power_off"
     host_id: str
 
+    def placement_delta(
+        self,
+        configuration: Configuration,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+    ) -> tuple[tuple[str, "Placement | None"], ...]:
+        if self.host_id not in configuration.powered_hosts:
+            raise ActionError(f"host {self.host_id!r} is not powered on")
+        if configuration.vms_on_host(self.host_id):
+            raise ActionError(f"host {self.host_id!r} still hosts VMs")
+        return ()
+
     def apply(
         self,
         configuration: Configuration,
         catalog: VmCatalog,
         limits: ConstraintLimits,
     ) -> Configuration:
-        if self.host_id not in configuration.powered_hosts:
-            raise ActionError(f"host {self.host_id!r} is not powered on")
-        if configuration.vms_on_host(self.host_id):
-            raise ActionError(f"host {self.host_id!r} still hosts VMs")
+        self.placement_delta(configuration, catalog, limits)
         return configuration.power_off(self.host_id)
 
     def affected_apps(

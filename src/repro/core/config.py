@@ -14,6 +14,7 @@ rules are *intermediate*: legal as search vertices, illegal to deploy.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional
 
@@ -41,10 +42,17 @@ class VmCatalog:
 
     def __init__(self, descriptors: Iterable[VmDescriptor]) -> None:
         self._by_id: dict[str, VmDescriptor] = {}
+        by_tier: dict[tuple[str, str], list[VmDescriptor]] = {}
         for descriptor in descriptors:
             if descriptor.vm_id in self._by_id:
                 raise ValueError(f"duplicate VM id {descriptor.vm_id!r}")
             self._by_id[descriptor.vm_id] = descriptor
+            by_tier.setdefault(
+                (descriptor.app_name, descriptor.tier_name), []
+            ).append(descriptor)
+        self._by_tier: dict[tuple[str, str], tuple[VmDescriptor, ...]] = {
+            key: tuple(members) for key, members in by_tier.items()
+        }
 
     def __contains__(self, vm_id: str) -> bool:
         return vm_id in self._by_id
@@ -65,12 +73,7 @@ class VmCatalog:
 
     def for_tier(self, app_name: str, tier_name: str) -> tuple[VmDescriptor, ...]:
         """All VMs (placed or dormant) belonging to one application tier."""
-        return tuple(
-            descriptor
-            for descriptor in self._by_id.values()
-            if descriptor.app_name == app_name
-            and descriptor.tier_name == tier_name
-        )
+        return self._by_tier.get((app_name, tier_name), ())
 
     def apps(self) -> tuple[str, ...]:
         """Application names present in the catalog, deduplicated in order."""
@@ -94,6 +97,17 @@ class Placement:
     def __post_init__(self) -> None:
         if not 0.0 < self.cpu_cap <= 1.0:
             raise ValueError(f"cpu_cap must be in (0, 1], got {self.cpu_cap!r}")
+
+    def __hash__(self) -> int:
+        # Placements are hashed millions of times per search, but most
+        # of the search's candidate children are ranked and discarded
+        # without ever being hashed — compute lazily, cache forever.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.host_id, self.cpu_cap))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def with_cap(self, cpu_cap: float) -> "Placement":
         """Same host, different cap."""
@@ -135,7 +149,15 @@ class Configuration:
     on the storage side) and consume no managed resources.
     """
 
-    __slots__ = ("_placements", "_powered", "_items", "_hash")
+    __slots__ = (
+        "_placements",
+        "_powered",
+        "_items",
+        "_hash",
+        "_keys",
+        "_by_host",
+        "_used",
+    )
 
     def __init__(
         self,
@@ -152,7 +174,23 @@ class Configuration:
         object.__setattr__(self, "_placements", dict(items))
         object.__setattr__(self, "_powered", powered)
         object.__setattr__(self, "_items", items)
-        object.__setattr__(self, "_hash", hash((items, powered)))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_keys", None)
+        object.__setattr__(self, "_by_host", None)
+        object.__setattr__(self, "_used", None)
+
+    def _mapping(self) -> dict[str, Placement]:
+        """The vm_id -> placement dict, built lazily.
+
+        Configurations created via the fast functional updates defer
+        the dict: most children the search generates are ranked by
+        distance and discarded after one or two lookups.
+        """
+        mapping = self._placements
+        if mapping is None:
+            mapping = dict(self._items)
+            object.__setattr__(self, "_placements", mapping)
+        return mapping
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Configuration is immutable")
@@ -163,7 +201,14 @@ class Configuration:
         return self._items == other._items and self._powered == other._powered
 
     def __hash__(self) -> int:
-        return self._hash
+        # Lazy: the search builds and ranks far more child
+        # configurations than it keeps, and only kept ones reach a
+        # cache or the open set where hashing happens.
+        value = self._hash
+        if value is None:
+            value = hash((self._items, self._powered))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __repr__(self) -> str:
         body = ", ".join(
@@ -178,7 +223,15 @@ class Configuration:
     @property
     def placements(self) -> Mapping[str, Placement]:
         """Read-only mapping of vm_id to placement."""
-        return dict(self._placements)
+        return dict(self._mapping())
+
+    def placement_items(self) -> tuple[tuple[str, Placement], ...]:
+        """All (vm_id, placement) pairs, sorted by vm_id.
+
+        Allocation-free accessor for hot loops (the ``placements``
+        property copies a dict per call).
+        """
+        return self._items
 
     @property
     def powered_hosts(self) -> frozenset[str]:
@@ -187,27 +240,52 @@ class Configuration:
 
     def placement_of(self, vm_id: str) -> Optional[Placement]:
         """Placement of ``vm_id``, or ``None`` if the VM is dormant."""
-        return self._placements.get(vm_id)
+        mapping = self._placements  # hottest accessor: lazy-init inline
+        if mapping is None:
+            mapping = dict(self._items)
+            object.__setattr__(self, "_placements", mapping)
+        return mapping.get(vm_id)
 
     def is_placed(self, vm_id: str) -> bool:
         """Whether the VM is active (placed on some host)."""
-        return vm_id in self._placements
+        mapping = self._placements
+        if mapping is None:
+            mapping = dict(self._items)
+            object.__setattr__(self, "_placements", mapping)
+        return vm_id in mapping
 
     def placed_vm_ids(self) -> tuple[str, ...]:
         """Ids of all active VMs, sorted."""
-        return tuple(vm_id for vm_id, _ in self._items)
+        keys = self._keys
+        if keys is None:
+            keys = tuple(vm_id for vm_id, _ in self._items)
+            object.__setattr__(self, "_keys", keys)
+        return keys
 
     def vms_on_host(self, host_id: str) -> tuple[str, ...]:
         """Ids of VMs placed on ``host_id``, sorted."""
-        return tuple(
-            vm_id
-            for vm_id, placement in self._items
-            if placement.host_id == host_id
-        )
+        by_host = self._by_host
+        if by_host is None:
+            # One pass builds the whole index; an expansion's parent
+            # configuration answers ~one vms_on_host query per child.
+            by_host = {}
+            for vm_id, placement in self._items:
+                by_host.setdefault(placement.host_id, []).append(vm_id)
+            by_host = {
+                host: tuple(vm_ids) for host, vm_ids in by_host.items()
+            }
+            object.__setattr__(self, "_by_host", by_host)
+        return by_host.get(host_id, ())
 
     def used_hosts(self) -> frozenset[str]:
         """Hosts that actually carry at least one VM."""
-        return frozenset(placement.host_id for _, placement in self._items)
+        used = self._used
+        if used is None:
+            used = frozenset(
+                placement.host_id for _, placement in self._items
+            )
+            object.__setattr__(self, "_used", used)
+        return used
 
     def idle_hosts(self) -> frozenset[str]:
         """Powered hosts carrying no VM (candidates for shutdown)."""
@@ -215,11 +293,11 @@ class Configuration:
 
     def replica_count(self, catalog: VmCatalog, app_name: str, tier_name: str) -> int:
         """Number of active replicas of one application tier."""
+        mapping = self._mapping()
         return sum(
             1
-            for vm_id in self._placements
-            if catalog.get(vm_id).app_name == app_name
-            and catalog.get(vm_id).tier_name == tier_name
+            for descriptor in catalog.for_tier(app_name, tier_name)
+            if descriptor.vm_id in mapping
         )
 
     def host_cpu_load(self, host_id: str) -> float:
@@ -279,28 +357,72 @@ class Configuration:
         return not self.violations(catalog, limits)
 
     # -- functional updates -------------------------------------------------
+    #
+    # The single-change updates below are the A* search's configuration
+    # factory (every generated child goes through one of them), so they
+    # bypass the constructor's re-sort and invariant re-check: ``_items``
+    # is already sorted, a one-entry edit preserves the order, and the
+    # parent's invariant plus the one checked placement imply the
+    # child's.
+
+    @classmethod
+    def _from_sorted(
+        cls,
+        items: tuple,
+        powered: frozenset,
+        keys: Optional[tuple] = None,
+    ) -> "Configuration":
+        """Internal: build from pre-sorted, pre-validated items."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "_placements", None)  # built lazily
+        object.__setattr__(self, "_powered", powered)
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", None)  # hashed lazily
+        object.__setattr__(self, "_keys", keys)
+        object.__setattr__(self, "_by_host", None)
+        object.__setattr__(self, "_used", None)
+        return self
 
     def replace(self, vm_id: str, placement: Placement) -> "Configuration":
         """New configuration with one VM's placement changed or added."""
-        placements = dict(self._placements)
+        if placement.host_id in self._powered:
+            keys = self.placed_vm_ids()
+            pos = bisect_left(keys, vm_id)
+            entry = ((vm_id, placement),)
+            if pos < len(keys) and keys[pos] == vm_id:
+                items = self._items[:pos] + entry + self._items[pos + 1 :]
+                new_keys = keys
+            else:
+                items = self._items[:pos] + entry + self._items[pos:]
+                new_keys = keys[:pos] + (vm_id,) + keys[pos:]
+            return Configuration._from_sorted(items, self._powered, new_keys)
+        placements = dict(self._mapping())
         placements[vm_id] = placement
         powered = self._powered | {placement.host_id}
         return Configuration(placements, powered)
 
     def remove(self, vm_id: str) -> "Configuration":
         """New configuration with one VM sent back to the dormant pool."""
-        if vm_id not in self._placements:
+        keys = self.placed_vm_ids()
+        pos = bisect_left(keys, vm_id)
+        if pos >= len(keys) or keys[pos] != vm_id:
             raise KeyError(f"VM {vm_id!r} is not placed")
-        placements = dict(self._placements)
-        del placements[vm_id]
-        return Configuration(placements, self._powered)
+        return Configuration._from_sorted(
+            self._items[:pos] + self._items[pos + 1 :],
+            self._powered,
+            keys[:pos] + keys[pos + 1 :],
+        )
 
     def power_on(self, host_id: str) -> "Configuration":
         """New configuration with one more powered host."""
-        return Configuration(dict(self._placements), self._powered | {host_id})
+        return Configuration._from_sorted(
+            self._items, self._powered | {host_id}, self._keys
+        )
 
     def power_off(self, host_id: str) -> "Configuration":
         """New configuration with ``host_id`` powered down (must be empty)."""
         if host_id in self.used_hosts():
             raise ValueError(f"host {host_id!r} still has VMs")
-        return Configuration(dict(self._placements), self._powered - {host_id})
+        return Configuration._from_sorted(
+            self._items, self._powered - {host_id}, self._keys
+        )

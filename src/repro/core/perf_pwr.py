@@ -32,6 +32,7 @@ from repro.core.config import (
     VmCatalog,
 )
 from repro.core.estimator import SteadyEstimate, UtilityEstimator
+from repro.core.lru import LruDict
 
 
 @dataclass(frozen=True)
@@ -114,9 +115,16 @@ class PerfPwrOptimizer:
         self.max_vm_cap = max_vm_cap or limits.max_total_cpu_cap
         self.min_cap_for_target = min_cap_for_target
         self.consider_minimal_candidate = consider_minimal_candidate
-        self._quality_cache: dict[tuple, tuple[float, float, dict[str, float]]] = {}
-        self._result_cache: dict[tuple, PerfPwrResult] = {}
-        self._minimal_cache: dict[tuple, CapacityPlan] = {}
+        # Bounded LRU memos (previously unbounded dicts flushed with a
+        # wholesale clear() when they overflowed, discarding the whole
+        # working set mid-optimization).  Keys include the estimator's
+        # workload key, so a FeedbackUtilityEstimator version bump
+        # naturally invalidates stale entries.
+        self._quality_cache: LruDict[
+            tuple, tuple[float, float, dict[str, float]]
+        ] = LruDict(100_000)
+        self._result_cache: LruDict[tuple, PerfPwrResult] = LruDict(5_000)
+        self._minimal_cache: LruDict[tuple, CapacityPlan] = LruDict(5_000)
 
     # -- public API ---------------------------------------------------------
 
@@ -126,8 +134,8 @@ class PerfPwrOptimizer:
         Results are memoized per workload vector: within one monitoring
         interval every controller level consults the same ideal.
         """
-        memo_key = tuple(sorted(workloads.items()))
-        memoized = self._result_cache.get(memo_key)
+        wkey = self.estimator.workload_key(workloads)
+        memoized = self._result_cache.get(wkey)
         if memoized is not None:
             return memoized
         start_evaluations = self.estimator.evaluations
@@ -139,14 +147,16 @@ class PerfPwrOptimizer:
         # counts and can overshoot past configurations that still meet
         # every target on fewer hosts.
         minimal_plan = (
-            self.minimal_capacities(workloads)
+            self.minimal_capacities(workloads, key=wkey)
             if self.consider_minimal_candidate
             else None
         )
         for host_count in range(len(self.host_ids), min_hosts - 1, -1):
             hosts = self.host_ids[:host_count]
             candidates: list[Configuration] = []
-            packed, plan = self._search_for_hosts(plan, hosts, workloads)
+            packed, plan = self._search_for_hosts(
+                plan, hosts, workloads, wkey
+            )
             if packed is not None:
                 candidates.append(packed)
             if minimal_plan is not None:
@@ -155,7 +165,9 @@ class PerfPwrOptimizer:
                     candidates.append(packed_minimal)
             best_for_count: Optional[PerfPwrResult] = None
             for candidate in candidates:
-                estimate = self.estimator.estimate(candidate, workloads)
+                estimate = self.estimator.estimate(
+                    candidate, workloads, key=wkey
+                )
                 result = PerfPwrResult(
                     configuration=candidate,
                     perf_rate=estimate.perf_rate,
@@ -179,12 +191,14 @@ class PerfPwrOptimizer:
         best = max(results, key=lambda result: result.ideal_rate)
         best.alternatives = results
         best.evaluations = self.estimator.evaluations - start_evaluations
-        if len(self._result_cache) > 5000:
-            self._result_cache.clear()
-        self._result_cache[memo_key] = best
+        self._result_cache.put(wkey, best)
         return best
 
-    def minimal_capacities(self, workloads: Mapping[str, float]) -> CapacityPlan:
+    def minimal_capacities(
+        self,
+        workloads: Mapping[str, float],
+        key: Optional[tuple] = None,
+    ) -> CapacityPlan:
         """Smallest capacity plan that still meets every target (§V-C).
 
         The Pwr-Cost baseline's oracle: the paper modifies the Perf-Pwr
@@ -193,8 +207,8 @@ class PerfPwrOptimizer:
         from maximum capacities, reductions are applied greedily while
         all applications stay at or under their target response time.
         """
-        memo_key = tuple(sorted(workloads.items()))
-        memoized = self._minimal_cache.get(memo_key)
+        wkey = key if key is not None else self.estimator.workload_key(workloads)
+        memoized = self._minimal_cache.get(wkey)
         if memoized is not None:
             return memoized
         plan = self._max_plan()
@@ -202,7 +216,9 @@ class PerfPwrOptimizer:
             best_candidate: Optional[CapacityPlan] = None
             best_total = plan.total_cap()
             for candidate in self._candidates(plan):
-                _, _, response_times = self._plan_quality(candidate, workloads)
+                _, _, response_times = self._plan_quality(
+                    candidate, workloads, wkey
+                )
                 if not self._meets_targets(response_times, workloads):
                     continue
                 total = candidate.total_cap()
@@ -210,9 +226,7 @@ class PerfPwrOptimizer:
                     best_total = total
                     best_candidate = candidate
             if best_candidate is None:
-                if len(self._minimal_cache) > 5000:
-                    self._minimal_cache.clear()
-                self._minimal_cache[memo_key] = plan
+                self._minimal_cache.put(wkey, plan)
                 return plan
             plan = best_candidate
 
@@ -262,14 +276,21 @@ class PerfPwrOptimizer:
         return Configuration(placements, hosts)
 
     def _plan_quality(
-        self, plan: CapacityPlan, workloads: Mapping[str, float]
+        self,
+        plan: CapacityPlan,
+        workloads: Mapping[str, float],
+        wkey: Optional[tuple] = None,
     ) -> tuple[float, float, dict[str, float]]:
         """(busy CPU, performance utility rate, response times) of a plan.
 
         Placement-free: power is not evaluated here (it needs a real
-        packing), only the performance side of the gradient.
+        packing), only the performance side of the gradient.  ``wkey``
+        is the precomputed workload key (computed once per optimize
+        pass rather than per probe).
         """
-        key = (tuple(sorted(plan.caps.items())), tuple(sorted(workloads.items())))
+        if wkey is None:
+            wkey = self.estimator.workload_key(workloads)
+        key = (tuple(sorted(plan.caps.items())), wkey)
         cached = self._quality_cache.get(key)
         if cached is not None:
             return cached
@@ -287,9 +308,7 @@ class PerfPwrOptimizer:
             for vm_id, rho in performance.vm_utilizations.items()
         )
         result = (busy, perf_rate, dict(performance.response_times))
-        if len(self._quality_cache) > 100_000:
-            self._quality_cache.clear()
-        self._quality_cache[key] = result
+        self._quality_cache.put(key, result)
         return result
 
     def _meets_targets(
@@ -332,6 +351,7 @@ class PerfPwrOptimizer:
         plan: CapacityPlan,
         hosts: Sequence[str],
         workloads: Mapping[str, float],
+        wkey: Optional[tuple] = None,
     ) -> tuple[Optional[Configuration], CapacityPlan]:
         """Shrink ``plan`` until it packs on ``hosts`` (or give up).
 
@@ -340,7 +360,7 @@ class PerfPwrOptimizer:
         iterative host-count reduction.
         """
         current = plan
-        busy, perf_rate, _ = self._plan_quality(current, workloads)
+        busy, perf_rate, _ = self._plan_quality(current, workloads, wkey)
         while True:
             packed = self._pack(current, hosts)
             if packed is not None:
@@ -349,7 +369,9 @@ class PerfPwrOptimizer:
             if self.min_cap_for_target:
                 kept = []
                 for candidate in candidates:
-                    _, _, cand_rts = self._plan_quality(candidate, workloads)
+                    _, _, cand_rts = self._plan_quality(
+                        candidate, workloads, wkey
+                    )
                     if self._meets_targets(cand_rts, workloads):
                         kept.append(candidate)
                 candidates = kept
@@ -359,7 +381,7 @@ class PerfPwrOptimizer:
             best_key: tuple[float, float] = (-math.inf, -math.inf)
             for candidate in candidates:
                 cand_busy, cand_perf, _ = self._plan_quality(
-                    candidate, workloads
+                    candidate, workloads, wkey
                 )
                 delta_busy = cand_busy - busy
                 delta_perf = cand_perf - perf_rate
@@ -376,7 +398,7 @@ class PerfPwrOptimizer:
                     best_candidate = candidate
             assert best_candidate is not None
             current = best_candidate
-            busy, perf_rate, _ = self._plan_quality(current, workloads)
+            busy, perf_rate, _ = self._plan_quality(current, workloads, wkey)
 
     # -- bin packing -------------------------------------------------------------
 

@@ -49,7 +49,7 @@ from repro.core.config import (
     Placement,
     VmCatalog,
 )
-from repro.core.estimator import UtilityEstimator
+from repro.core.estimator import SteadyEstimate, UtilityEstimator
 from repro.core.perf_pwr import PerfPwrOptimizer, PerfPwrResult
 from repro.core.planner import plan_transition
 from repro.costmodel.manager import CostManager
@@ -134,6 +134,13 @@ class SearchSettings:
     #: when a candidate's true Eq. 3 utility beats every deflated
     #: bound.  0 recovers the strictly admissible (naive) ordering.
     guidance_weight: float = 1.0
+    #: Evaluate children incrementally: per-vertex delta state for
+    #: distance/cost-to-go/feasibility and delta LQN solves chained off
+    #: the parent's solver state.  Produces bit-identical outcomes to
+    #: the full path (``False``), which re-derives every quantity from
+    #: scratch per child and exists as the equivalence/benchmark
+    #: baseline.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -177,6 +184,324 @@ class _Vertex:
     distance: float = 0.0  # weighted-Euclidean distance to the ideal config
     terminal: bool = False
     is_candidate: bool = False
+    #: Incremental-mode delta state (None when incremental is off).
+    state: "Optional[_VertexState]" = None
+    #: Lineage for delta utility estimation: the configuration this
+    #: vertex was derived from and the VMs its action changed.
+    parent_configuration: Optional[Configuration] = None
+    changed_vms: frozenset[str] = frozenset()
+
+
+def _togo_vm_term(
+    here: Optional[Placement],
+    there: Optional[Placement],
+    tier: str,
+    durations: Mapping[tuple[str, str], float],
+    step: float,
+    min_cap: float,
+) -> float:
+    """Adaptation seconds moving one VM from ``here`` to its ideal
+    ``there`` (shared by the full and incremental cost-to-go paths so
+    both accumulate bit-identical terms)."""
+    if here is None and there is None:
+        return 0.0
+    seconds = 0.0
+    if here is None:
+        seconds += durations.get(("add_replica", tier), 40.0)
+        seconds += abs(there.cpu_cap - min_cap) / step
+    elif there is None:
+        seconds += durations.get(("remove_replica", tier), 25.0)
+    else:
+        if here.host_id != there.host_id:
+            seconds += durations.get(("migrate", tier), 25.0)
+        seconds += abs(here.cpu_cap - there.cpu_cap) / step
+    return seconds
+
+
+@dataclass
+class _VertexState:
+    """Per-vertex decomposed terms enabling O(changed VMs) child updates.
+
+    The scalar quantities the search needs per child — distance to the
+    ideal, cost-to-go seconds, feasibility — are all sums/counts of
+    independent per-VM or per-host terms.  Storing the terms lets a
+    child recompute only the entries its action touched and re-reduce;
+    reductions run in the same canonical order as the full-path code,
+    so the results are bit-identical (float addition of the same
+    operands in the same order is deterministic).
+
+    States are immutable by convention: children copy-and-replace, and
+    actions touching no VM (null, host power) share the parent's state.
+    """
+
+    #: weights[i] * (cap - ideal_cap)**2 per catalog index.
+    cap_terms: list[float]
+    #: 1 if the VM sits on its ideal host (dormant matching dormant
+    #: counts), else 0, per catalog index.
+    host_matches: list[int]
+    #: Cost-to-go seconds per catalog index (placement terms only; the
+    #: host power terms are cheap set-diffs computed per vertex).
+    togo_terms: list[float]
+    #: Per used host: (sum of caps re-rounded onto the decimal grid the
+    #: way ``Configuration.host_cpu_load`` does, guest MB, VM count) —
+    #: one dict instead of three so children copy one.
+    hosts: dict[str, tuple[float, int, int]]
+    #: Number of used hosts violating any per-host constraint.
+    bad_hosts: int
+    #: Placed VMs whose cap is below the per-VM minimum.
+    bad_vms: frozenset[str]
+
+
+class _SearchBasis:
+    """Per-search constants for the incremental vertex evaluation."""
+
+    __slots__ = (
+        "limits",
+        "durations",
+        "vm_ids",
+        "index",
+        "tiers",
+        "memory",
+        "weights",
+        "ideal_caps",
+        "ideal_placements",
+        "ideal_hosts",
+        "ideal_powered",
+        "total",
+    )
+
+    def __init__(
+        self,
+        catalog: VmCatalog,
+        limits: ConstraintLimits,
+        ideal_configuration: Configuration,
+        weights: Mapping[str, float],
+        ideal_caps: Mapping[str, float],
+        durations: Mapping[tuple[str, str], float],
+    ) -> None:
+        self.limits = limits
+        self.durations = durations
+        self.vm_ids = catalog.vm_ids()
+        self.index = {vm_id: i for i, vm_id in enumerate(self.vm_ids)}
+        self.tiers = tuple(
+            catalog.get(vm_id).tier_name for vm_id in self.vm_ids
+        )
+        self.memory = {
+            vm_id: catalog.get(vm_id).memory_mb for vm_id in self.vm_ids
+        }
+        self.weights = tuple(weights[vm_id] for vm_id in self.vm_ids)
+        self.ideal_caps = tuple(
+            ideal_caps.get(vm_id, 0.0) for vm_id in self.vm_ids
+        )
+        self.ideal_placements = tuple(
+            ideal_configuration.placement_of(vm_id) for vm_id in self.vm_ids
+        )
+        self.ideal_hosts = tuple(
+            placement.host_id if placement is not None else None
+            for placement in self.ideal_placements
+        )
+        self.ideal_powered = ideal_configuration.powered_hosts
+        self.total = len(self.vm_ids)
+
+    def _host_bad(self, cpu: float, mem: int, vms: int) -> bool:
+        limits = self.limits
+        return (
+            cpu > limits.max_total_cpu_cap + 1e-9
+            or mem > limits.guest_memory_mb
+            or vms > limits.max_vms_per_host
+        )
+
+    def full_state(self, configuration: Configuration) -> _VertexState:
+        """Decompose a configuration from scratch (root vertices)."""
+        limits = self.limits
+        step = limits.cpu_cap_step
+        cap_terms: list[float] = []
+        host_matches: list[int] = []
+        togo_terms: list[float] = []
+        for i, vm_id in enumerate(self.vm_ids):
+            placement = configuration.placement_of(vm_id)
+            cap = placement.cpu_cap if placement is not None else 0.0
+            cap_terms.append(self.weights[i] * (cap - self.ideal_caps[i]) ** 2)
+            host = placement.host_id if placement is not None else None
+            host_matches.append(1 if host == self.ideal_hosts[i] else 0)
+            togo_terms.append(
+                _togo_vm_term(
+                    placement,
+                    self.ideal_placements[i],
+                    self.tiers[i],
+                    self.durations,
+                    step,
+                    limits.min_vm_cpu_cap,
+                )
+            )
+        hosts: dict[str, tuple[float, int, int]] = {}
+        bad_vm_list: list[str] = []
+        for vm_id, placement in configuration.placement_items():
+            host = placement.host_id
+            entry = hosts.get(host)
+            if entry is None:
+                hosts[host] = (
+                    round(placement.cpu_cap, 10),
+                    self.memory[vm_id],
+                    1,
+                )
+            else:
+                hosts[host] = (
+                    round(entry[0] + placement.cpu_cap, 10),
+                    entry[1] + self.memory[vm_id],
+                    entry[2] + 1,
+                )
+            if placement.cpu_cap < limits.min_vm_cpu_cap - 1e-9:
+                bad_vm_list.append(vm_id)
+        bad_hosts = sum(
+            1 for entry in hosts.values() if self._host_bad(*entry)
+        )
+        return _VertexState(
+            cap_terms=cap_terms,
+            host_matches=host_matches,
+            togo_terms=togo_terms,
+            hosts=hosts,
+            bad_hosts=bad_hosts,
+            bad_vms=frozenset(bad_vm_list),
+        )
+
+    def child_state(
+        self,
+        parent_configuration: Configuration,
+        state: _VertexState,
+        delta: tuple,
+    ) -> _VertexState:
+        """Parent state advanced past one action, in O(|delta|).
+
+        ``delta`` is the action's :meth:`placement_delta` — the child's
+        placements are read straight from it, so the child configuration
+        is never consulted.
+        """
+        if not delta:
+            return state  # null/host-power actions move no VM
+        limits = self.limits
+        step = limits.cpu_cap_step
+        cap_terms = state.cap_terms.copy()
+        host_matches = state.host_matches.copy()
+        togo_terms = state.togo_terms.copy()
+        hosts = state.hosts.copy()
+        bad_hosts = state.bad_hosts
+        bad_vms = state.bad_vms
+        for vm_id, new in delta:
+            i = self.index[vm_id]
+            old = parent_configuration.placement_of(vm_id)
+            cap = new.cpu_cap if new is not None else 0.0
+            cap_terms[i] = self.weights[i] * (cap - self.ideal_caps[i]) ** 2
+            host = new.host_id if new is not None else None
+            host_matches[i] = 1 if host == self.ideal_hosts[i] else 0
+            togo_terms[i] = _togo_vm_term(
+                new,
+                self.ideal_placements[i],
+                self.tiers[i],
+                self.durations,
+                step,
+                limits.min_vm_cpu_cap,
+            )
+            if old is not None:
+                src = old.host_id
+                entry = hosts[src]
+                was_bad = self._host_bad(*entry)
+                remaining = entry[2] - 1
+                if remaining == 0:
+                    del hosts[src]
+                    bad_hosts -= was_bad
+                else:
+                    entry = (
+                        round(entry[0] - old.cpu_cap, 10),
+                        entry[1] - self.memory[vm_id],
+                        remaining,
+                    )
+                    hosts[src] = entry
+                    bad_hosts += self._host_bad(*entry) - was_bad
+            if new is not None:
+                dst = new.host_id
+                entry = hosts.get(dst)
+                if entry is not None:
+                    was_bad = self._host_bad(*entry)
+                    entry = (
+                        round(entry[0] + new.cpu_cap, 10),
+                        entry[1] + self.memory[vm_id],
+                        entry[2] + 1,
+                    )
+                else:
+                    was_bad = False
+                    entry = (
+                        round(new.cpu_cap, 10),
+                        self.memory[vm_id],
+                        1,
+                    )
+                hosts[dst] = entry
+                bad_hosts += self._host_bad(*entry) - was_bad
+            under_cap = new is not None and (
+                new.cpu_cap < limits.min_vm_cpu_cap - 1e-9
+            )
+            if under_cap != (vm_id in bad_vms):
+                bad_vms = (
+                    bad_vms | {vm_id} if under_cap else bad_vms - {vm_id}
+                )
+        return _VertexState(
+            cap_terms=cap_terms,
+            host_matches=host_matches,
+            togo_terms=togo_terms,
+            hosts=hosts,
+            bad_hosts=bad_hosts,
+            bad_vms=bad_vms,
+        )
+
+    def distance(self, state: _VertexState) -> float:
+        """Bit-identical to ``AdaptationSearch._distance``: the terms
+        are re-summed in catalog order from the same 0 start."""
+        cap_term = sum(state.cap_terms)
+        matches = sum(state.host_matches)
+        total = self.total
+        placement_term = 1.0 - (matches / total if total else 1.0)
+        return math.sqrt(cap_term) + placement_term
+
+    def child_distance(
+        self,
+        state: _VertexState,
+        delta: tuple,
+    ) -> float:
+        """Distance of a child, bit-identical to
+        ``distance(child_state(...))`` but computed straight from an
+        action's placement delta — pruned expansions rank every
+        reachable child by distance and keep only a few, so neither the
+        child configuration nor its state is built for the discards."""
+        if not delta:
+            return self.distance(state)
+        cap_terms = state.cap_terms.copy()
+        host_matches = state.host_matches.copy()
+        for vm_id, new in delta:
+            i = self.index[vm_id]
+            cap = new.cpu_cap if new is not None else 0.0
+            cap_terms[i] = self.weights[i] * (cap - self.ideal_caps[i]) ** 2
+            host = new.host_id if new is not None else None
+            host_matches[i] = 1 if host == self.ideal_hosts[i] else 0
+        cap_term = sum(cap_terms)
+        matches = sum(host_matches)
+        total = self.total
+        placement_term = 1.0 - (matches / total if total else 1.0)
+        return math.sqrt(cap_term) + placement_term
+
+    def togo_seconds(
+        self, state: _VertexState, configuration: Configuration
+    ) -> float:
+        """Bit-identical to ``AdaptationSearch._togo_seconds``."""
+        seconds = sum(state.togo_terms, 0.0)
+        for _ in self.ideal_powered - configuration.powered_hosts:
+            seconds += self.durations.get(("power_on", "-"), 90.0)
+        for _ in configuration.powered_hosts - self.ideal_powered:
+            seconds += self.durations.get(("power_off", "-"), 30.0)
+        return seconds
+
+    def is_candidate(self, state: _VertexState) -> bool:
+        """Same verdict as ``Configuration.is_candidate``."""
+        return state.bad_hosts == 0 and not state.bad_vms
 
 
 class AdaptationSearch:
@@ -206,6 +531,11 @@ class AdaptationSearch:
         #: of the paper's hierarchy.  The ideal configuration is then
         #: projected onto the scope: out-of-scope VMs stay pinned.
         self.scope_hosts: Optional[frozenset[str]] = None
+        # Interned action objects: actions are immutable value objects
+        # drawn from a small universe (VMs x hosts x cap steps), but
+        # enumeration runs once per expansion — reuse instead of
+        # re-constructing ~100 dataclass instances each time.
+        self._action_cache: dict[tuple, AdaptationAction] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -225,13 +555,15 @@ class AdaptationSearch:
         """
         wall_start = time.perf_counter()
         settings = self.settings
+        incremental = settings.incremental
+        wkey = self.estimator.workload_key(workloads)
         ideal = self.perf_pwr.optimize(workloads)
         if self.scope_hosts is not None:
             ideal = self._project_ideal(current, ideal, workloads)
         ideal_rate = ideal.ideal_rate
         window = max(control_window, 0.0)
 
-        current_estimate = self.estimator.estimate(current, workloads)
+        current_estimate = self.estimator.estimate(current, workloads, key=wkey)
         current_rate = current_estimate.total_rate
 
         if ideal.configuration == current:
@@ -265,11 +597,42 @@ class AdaptationSearch:
             ideal_rate - current_rate, 0.1 * abs(ideal_rate), 1e-9
         )
 
-        def togo_penalty(configuration: Configuration) -> float:
-            seconds = self._togo_seconds(
-                configuration, ideal.configuration, action_durations
+        basis: Optional[_SearchBasis] = None
+        if incremental:
+            self.estimator.prime(current, workloads, key=wkey)
+            basis = _SearchBasis(
+                self.catalog,
+                self.limits,
+                ideal.configuration,
+                ideal_weights,
+                ideal_caps,
+                action_durations,
             )
+
+        def togo_penalty(vertex: _Vertex) -> float:
+            if basis is not None:
+                seconds = basis.togo_seconds(
+                    vertex.state, vertex.configuration
+                )
+            else:
+                seconds = self._togo_seconds(
+                    vertex.configuration, ideal.configuration, action_durations
+                )
             return settings.guidance_weight * seconds * rate_gap
+
+        def steady_of(vertex: _Vertex) -> "SteadyEstimate":
+            """Steady estimate via the delta path when lineage allows."""
+            if incremental and vertex.parent_configuration is not None:
+                return self.estimator.estimate_child(
+                    vertex.parent_configuration,
+                    vertex.configuration,
+                    vertex.changed_vms,
+                    workloads,
+                    key=wkey,
+                )
+            return self.estimator.estimate(
+                vertex.configuration, workloads, key=wkey
+            )
 
         # -- self-aware bookkeeping (Algorithm 1's T, UT, UpwrT, UH) --
         budget = (
@@ -293,7 +656,7 @@ class AdaptationSearch:
 
         def candidate_value(vertex: _Vertex) -> float:
             remaining = max(0.0, window - vertex.elapsed)
-            steady = self.estimator.estimate(vertex.configuration, workloads)
+            steady = steady_of(vertex)
             return remaining * steady.total_rate + vertex.accrued
 
         counter = itertools.count()
@@ -331,25 +694,74 @@ class AdaptationSearch:
             if vertex.terminal:
                 vertex.priority = vertex.utility
             else:
-                vertex.priority = vertex.utility - togo_penalty(
-                    vertex.configuration
-                )
+                vertex.priority = vertex.utility - togo_penalty(vertex)
 
         def build_child(
-            parent: _Vertex, action: AdaptationAction
+            parent: _Vertex,
+            action: AdaptationAction,
+            parent_steady: SteadyEstimate,
+            new_config: Optional[Configuration] = None,
+            delta: Optional[tuple] = None,
         ) -> Optional[_Vertex]:
-            """Child vertex for one action, or None if inapplicable."""
-            try:
-                new_config = action.apply(
-                    parent.configuration, self.catalog, self.limits
+            """Child vertex for one action, or None if inapplicable.
+
+            ``parent_steady`` is hoisted to the caller (one estimate per
+            expansion, not one per child); the pruning path passes the
+            already-computed ``new_config``/``delta`` through so nothing
+            is computed twice.  On the incremental path the action's
+            placement delta both validates the action and yields the
+            child configuration directly (one ``replace``/``remove``),
+            skipping ``apply``'s duplicate validation pass.
+            """
+            if incremental:
+                if delta is None:
+                    try:
+                        delta = action.placement_delta(
+                            parent.configuration, self.catalog, self.limits
+                        )
+                    except ActionError:
+                        return None
+                changed = frozenset(vm_id for vm_id, _ in delta)
+                if new_config is None:
+                    if len(delta) == 1:
+                        (vm_id, placement), = delta
+                        new_config = (
+                            parent.configuration.remove(vm_id)
+                            if placement is None
+                            else parent.configuration.replace(
+                                vm_id, placement
+                            )
+                        )
+                    else:
+                        # No-VM actions (null / host power) — and any
+                        # future multi-edit action — go through apply.
+                        try:
+                            new_config = action.apply(
+                                parent.configuration, self.catalog, self.limits
+                            )
+                        except ActionError:
+                            return None
+                child_state = basis.child_state(
+                    parent.configuration, parent.state, delta
                 )
-            except ActionError:
-                return None
+                distance = basis.distance(child_state)
+                is_candidate = basis.is_candidate(child_state)
+            else:
+                if new_config is None:
+                    try:
+                        new_config = action.apply(
+                            parent.configuration, self.catalog, self.limits
+                        )
+                    except ActionError:
+                        return None
+                changed = frozenset()
+                child_state = None
+                distance = vertex_distance(new_config)
+                is_candidate = new_config.is_candidate(
+                    self.catalog, self.limits
+                )
             predicted = self.cost_manager.predict(
                 action, parent.configuration, workloads
-            )
-            parent_steady = self.estimator.estimate(
-                parent.configuration, workloads
             )
             perf_rate, power_rate = self.estimator.transient_rates(
                 parent_steady,
@@ -370,10 +782,11 @@ class AdaptationSearch:
                 actions=parent.actions + (action,),
                 accrued=parent.accrued + effective * transient_rate,
                 elapsed=parent.elapsed + predicted.duration,
-                distance=vertex_distance(new_config),
-                is_candidate=new_config.is_candidate(
-                    self.catalog, self.limits
-                ),
+                distance=distance,
+                is_candidate=is_candidate,
+                state=child_state,
+                parent_configuration=parent.configuration,
+                changed_vms=changed,
             )
             child.utility = bound(child)
             finalize(child)
@@ -389,6 +802,9 @@ class AdaptationSearch:
                     elapsed=vertex.elapsed,
                     terminal=True,
                     is_candidate=True,
+                    state=vertex.state,
+                    parent_configuration=vertex.parent_configuration,
+                    changed_vms=vertex.changed_vms,
                 )
                 terminal.utility = candidate_value(terminal)
                 finalize(terminal)
@@ -399,8 +815,13 @@ class AdaptationSearch:
             actions=(),
             accrued=0.0,
             elapsed=0.0,
-            distance=vertex_distance(current),
+            state=basis.full_state(current) if incremental else None,
             is_candidate=current.is_candidate(self.catalog, self.limits),
+        )
+        root.distance = (
+            basis.distance(root.state)
+            if incremental
+            else vertex_distance(current)
         )
         root.utility = bound(root)
         finalize(root)
@@ -424,7 +845,9 @@ class AdaptationSearch:
                 ):
                     if action.kind not in settings.allowed_kinds:
                         break  # keep the valid prefix only
-                    seed_vertex = build_child(seed_vertex, action)
+                    seed_vertex = build_child(
+                        seed_vertex, action, steady_of(seed_vertex)
+                    )
                     if seed_vertex is None:
                         break
                     push_with_terminal(seed_vertex)
@@ -449,6 +872,7 @@ class AdaptationSearch:
             possible = self._enumerate_actions(
                 vertex.configuration, ideal_caps
             )
+            parent_steady = steady_of(vertex)
             children: list[_Vertex] = []
             tick = settings.per_vertex_seconds
             if pruning and len(possible) > 1:
@@ -456,30 +880,63 @@ class AdaptationSearch:
                 # keep the 5% closest to the ideal, and only fully
                 # evaluate those — the paper's "decreasing search width
                 # of each vertex".
-                reachable: list[tuple[float, int, AdaptationAction]] = []
-                for order, action in enumerate(possible):
-                    try:
-                        new_config = action.apply(
-                            vertex.configuration, self.catalog, self.limits
+                reachable: list[tuple] = []
+                if incremental:
+                    # Rank straight from each action's placement delta:
+                    # the child configuration is only materialized for
+                    # the few survivors below.
+                    for order, action in enumerate(possible):
+                        try:
+                            delta = action.placement_delta(
+                                vertex.configuration, self.catalog, self.limits
+                            )
+                        except ActionError:
+                            continue
+                        reachable.append(
+                            (
+                                basis.child_distance(vertex.state, delta),
+                                order,
+                                action,
+                                None,
+                                delta,
+                            )
                         )
-                    except ActionError:
-                        continue
-                    reachable.append(
-                        (vertex_distance(new_config), order, action)
-                    )
+                else:
+                    for order, action in enumerate(possible):
+                        try:
+                            new_config = action.apply(
+                                vertex.configuration, self.catalog, self.limits
+                            )
+                        except ActionError:
+                            continue
+                        reachable.append(
+                            (
+                                vertex_distance(new_config),
+                                order,
+                                action,
+                                new_config,
+                                None,
+                            )
+                        )
                 tick += len(reachable) * settings.per_child_apply_seconds
                 reachable.sort(key=lambda item: (item[0], item[1]))
                 keep = max(
                     1, math.ceil(settings.prune_fraction * len(reachable))
                 )
-                for _, _, action in reachable[:keep]:
-                    child = build_child(vertex, action)
+                for _, _, action, new_config, delta in reachable[:keep]:
+                    child = build_child(
+                        vertex,
+                        action,
+                        parent_steady,
+                        new_config=new_config,
+                        delta=delta,
+                    )
                     if child is not None:
                         children.append(child)
                 tick += len(children) * settings.per_child_eval_seconds
             else:
                 for action in possible:
-                    child = build_child(vertex, action)
+                    child = build_child(vertex, action, parent_steady)
                     if child is not None:
                         children.append(child)
                 tick += len(children) * (
@@ -562,13 +1019,27 @@ class AdaptationSearch:
         kinds = settings.allowed_kinds
         step = self.limits.cpu_cap_step
         actions: list[AdaptationAction] = []
+        cache = self._action_cache
         powered = sorted(configuration.powered_hosts)
         if self.scope_hosts is not None:
             powered = [host for host in powered if host in self.scope_hosts]
 
-        for vm_id in configuration.placed_vm_ids():
-            placement = configuration.placement_of(vm_id)
-            assert placement is not None
+        def interned(key: tuple, factory, *args) -> AdaptationAction:
+            action = cache.get(key)
+            if action is None:
+                action = factory(*args)
+                cache[key] = action
+            return action
+
+        # One O(placements) pass instead of a replica_count() scan per
+        # candidate action.
+        replica_counts: dict[tuple[str, str], int] = {}
+        for placed_vm, _ in configuration.placement_items():
+            descriptor = self.catalog.get(placed_vm)
+            tier_key = (descriptor.app_name, descriptor.tier_name)
+            replica_counts[tier_key] = replica_counts.get(tier_key, 0) + 1
+
+        for vm_id, placement in configuration.placement_items():
             if (
                 self.scope_hosts is not None
                 and placement.host_id not in self.scope_hosts
@@ -577,40 +1048,67 @@ class AdaptationSearch:
             if "increase_cpu" in kinds and (
                 placement.cpu_cap + step <= self.limits.max_total_cpu_cap + 1e-9
             ):
-                actions.append(IncreaseCpu(vm_id, step))
+                actions.append(
+                    interned(("inc", vm_id), IncreaseCpu, vm_id, step)
+                )
             if "decrease_cpu" in kinds and (
                 placement.cpu_cap - step >= self.limits.min_vm_cpu_cap - 1e-9
             ):
-                actions.append(DecreaseCpu(vm_id, step))
+                actions.append(
+                    interned(("dec", vm_id), DecreaseCpu, vm_id, step)
+                )
             if target_caps is not None:
                 target = target_caps.get(vm_id)
                 if target is not None:
                     steps = round((target - placement.cpu_cap) / step)
                     if steps > 1 and "increase_cpu" in kinds:
-                        actions.append(IncreaseCpu(vm_id, step, count=steps))
+                        actions.append(
+                            interned(
+                                ("inc", vm_id, steps),
+                                IncreaseCpu,
+                                vm_id,
+                                step,
+                                steps,
+                            )
+                        )
                     elif steps < -1 and "decrease_cpu" in kinds:
-                        actions.append(DecreaseCpu(vm_id, step, count=-steps))
+                        actions.append(
+                            interned(
+                                ("dec", vm_id, -steps),
+                                DecreaseCpu,
+                                vm_id,
+                                step,
+                                -steps,
+                            )
+                        )
             if "migrate" in kinds:
                 for host_id in powered:
                     if host_id != placement.host_id:
-                        actions.append(MigrateVm(vm_id, host_id))
+                        actions.append(
+                            interned(
+                                ("mig", vm_id, host_id),
+                                MigrateVm,
+                                vm_id,
+                                host_id,
+                            )
+                        )
             if "remove_replica" in kinds:
                 descriptor = self.catalog.get(vm_id)
                 tier = self.applications.get(descriptor.app_name).tier(
                     descriptor.tier_name
                 )
-                count = configuration.replica_count(
-                    self.catalog, descriptor.app_name, descriptor.tier_name
+                count = replica_counts.get(
+                    (descriptor.app_name, descriptor.tier_name), 0
                 )
                 if count > tier.min_replicas:
-                    actions.append(RemoveReplica(vm_id))
+                    actions.append(
+                        interned(("rem", vm_id), RemoveReplica, vm_id)
+                    )
 
         if "add_replica" in kinds:
             for app in self.applications:
                 for tier in app.tiers:
-                    count = configuration.replica_count(
-                        self.catalog, app.name, tier.name
-                    )
+                    count = replica_counts.get((app.name, tier.name), 0)
                     if count >= tier.max_replicas:
                         continue
                     caps = {settings.replica_cap}
@@ -627,16 +1125,27 @@ class AdaptationSearch:
                     for host_id in powered:
                         for cap in sorted(caps):
                             actions.append(
-                                AddReplica(app.name, tier.name, host_id, cap)
+                                interned(
+                                    ("add", app.name, tier.name, host_id, cap),
+                                    AddReplica,
+                                    app.name,
+                                    tier.name,
+                                    host_id,
+                                    cap,
+                                )
                             )
 
         if "power_on" in kinds:
             for host_id in self.host_ids:
                 if host_id not in configuration.powered_hosts:
-                    actions.append(PowerOnHost(host_id))
+                    actions.append(
+                        interned(("pon", host_id), PowerOnHost, host_id)
+                    )
         if "power_off" in kinds:
             for host_id in sorted(configuration.idle_hosts()):
-                actions.append(PowerOffHost(host_id))
+                actions.append(
+                    interned(("poff", host_id), PowerOffHost, host_id)
+                )
         return actions
 
     # -- scoping ----------------------------------------------------------------
@@ -747,21 +1256,14 @@ class AdaptationSearch:
         step = self.limits.cpu_cap_step
         seconds = 0.0
         for descriptor in self.catalog:
-            vm_id = descriptor.vm_id
-            tier = descriptor.tier_name
-            here = configuration.placement_of(vm_id)
-            there = ideal.placement_of(vm_id)
-            if here is None and there is None:
-                continue
-            if here is None:
-                seconds += durations.get(("add_replica", tier), 40.0)
-                seconds += abs(there.cpu_cap - self.limits.min_vm_cpu_cap) / step
-            elif there is None:
-                seconds += durations.get(("remove_replica", tier), 25.0)
-            else:
-                if here.host_id != there.host_id:
-                    seconds += durations.get(("migrate", tier), 25.0)
-                seconds += abs(here.cpu_cap - there.cpu_cap) / step
+            seconds += _togo_vm_term(
+                configuration.placement_of(descriptor.vm_id),
+                ideal.placement_of(descriptor.vm_id),
+                descriptor.tier_name,
+                durations,
+                step,
+                self.limits.min_vm_cpu_cap,
+            )
         for host_id in ideal.powered_hosts - configuration.powered_hosts:
             seconds += durations.get(("power_on", "-"), 90.0)
         for host_id in configuration.powered_hosts - ideal.powered_hosts:

@@ -19,14 +19,70 @@ Beyond the saturation knee the hyperbolic waiting curve is linearized
 (slope ``overload_slope_seconds``) so that overloaded configurations
 get a finite but strongly penalized response time — necessary for the
 optimizers, which must be able to rank infeasible-but-improving moves.
+
+**Incremental path.**  The adaptation search evaluates long chains of
+configurations that differ by a single action — one VM's cap, one
+placement, one powered host.  ``solve_state`` returns a
+:class:`SolveState` carrying the per-tier solution terms alongside the
+estimate, and ``update_state`` re-solves only the tiers owning the
+changed VMs, reusing every other tier's terms verbatim.  Both paths
+share the same per-tier kernel (``_solve_tier``) and recompose sums in
+the same canonical order, so a delta-solved estimate is *bit-identical*
+to a from-scratch ``solve`` of the same configuration — no drift can
+accumulate along a search path.
+
+**Host contract.**  Every placement's host must be powered on — this is
+enforced by :class:`~repro.core.config.Configuration` itself — and the
+returned ``host_utilizations`` contains exactly one entry per powered
+host (0.0 for idle hosts).  The solver indexes hosts directly instead
+of silently adopting unknown ones, so a configuration that somehow
+violated the invariant would fail loudly rather than report power for
+hosts the power model never sees.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
 
 from repro.core.config import Configuration, VmCatalog
 from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
+
+
+@dataclass(frozen=True)
+class TierSolution:
+    """Solved terms of one (application, tier) pair.
+
+    ``utilization`` is ``None`` when the tier contributes nothing (no
+    replicas placed and no demand routed to it); ``term`` is the
+    seconds this tier adds to the application response time, including
+    the per-visit network latency (or the overload penalty of a dormant
+    tier that still receives work).
+    """
+
+    utilization: Optional[float]
+    term: float
+    saturated: bool
+    #: ``(vm_id, served utilization)`` per placed replica, in placement
+    #: iteration order.
+    vm_utilizations: tuple[tuple[str, float], ...]
+    #: ``(host_id, busy CPU contribution)`` per placed replica, in the
+    #: same order the full solve accumulates host busy terms.
+    host_busy: tuple[tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class SolveState:
+    """A solved configuration plus the per-tier terms it was built from.
+
+    Feed it back into :meth:`LqnSolver.update_state` together with the
+    set of VMs an action touched to obtain the neighbouring
+    configuration's estimate at the cost of re-solving one tier.
+    """
+
+    configuration: Configuration
+    tiers: Mapping[tuple[str, str], TierSolution]
+    estimate: PerformanceEstimate
 
 
 class LqnSolver:
@@ -42,6 +98,16 @@ class LqnSolver:
             key = (descriptor.app_name, descriptor.tier_name)
             self._tier_vms.setdefault(key, ())
             self._tier_vms[key] += (descriptor.vm_id,)
+        # app -> [(tier name, vm ids)] in catalog order, and the owning
+        # tier of each VM — both used to scope incremental re-solves.
+        self._app_tiers: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+        self._vm_tier: dict[str, tuple[str, str]] = {}
+        for (app_name, tier_name), vm_ids in self._tier_vms.items():
+            self._app_tiers.setdefault(app_name, []).append(
+                (tier_name, vm_ids)
+            )
+            for vm_id in vm_ids:
+                self._vm_tier[vm_id] = (app_name, tier_name)
 
     @property
     def parameters(self) -> LqnParameters:
@@ -51,6 +117,8 @@ class LqnSolver:
     def with_parameters(self, parameters: LqnParameters) -> "LqnSolver":
         """A solver over the same catalog with different parameters."""
         return LqnSolver(self._catalog, parameters)
+
+    # -- full solve -----------------------------------------------------------
 
     def solve(
         self,
@@ -72,8 +140,190 @@ class LqnSolver:
             Optional per-``(app, tier)`` service-demand multipliers;
             the testbed uses these to inject per-interval noise.
         """
+        tiers = self._solve_tiers(configuration, workloads, demand_multipliers)
+        return self._compose(configuration, workloads, tiers)
+
+    def solve_state(
+        self,
+        configuration: Configuration,
+        workloads: Mapping[str, float],
+    ) -> SolveState:
+        """Like :meth:`solve`, but keep the per-tier decomposition.
+
+        States never carry demand multipliers: they exist for the
+        optimizers' incremental hot path, which always evaluates the
+        calibrated model.
+        """
+        tiers = self._solve_tiers(configuration, workloads, None)
+        return SolveState(
+            configuration=configuration,
+            tiers=tiers,
+            estimate=self._compose(configuration, workloads, tiers),
+        )
+
+    # -- incremental solve -----------------------------------------------------
+
+    def update_state(
+        self,
+        state: SolveState,
+        configuration: Configuration,
+        workloads: Mapping[str, float],
+        changed_vms: Iterable[str],
+    ) -> SolveState:
+        """Delta solve: re-use ``state``, re-solving only dirty tiers.
+
+        ``configuration`` must differ from ``state.configuration`` only
+        in the placements/caps of ``changed_vms`` and in the powered
+        host set (power cycles never dirty a tier: an empty host has no
+        busy terms), and ``workloads`` must match the vector the state
+        was solved under — the caller owns both invariants.  The
+        returned estimate is bit-identical to a full ``solve`` of
+        ``configuration``.
+        """
+        dirty: set[tuple[str, str]] = set()
+        for vm_id in changed_vms:
+            key = self._vm_tier.get(vm_id)
+            if key is not None and key[0] in workloads:
+                dirty.add(key)
+        if not dirty:
+            tiers = state.tiers
+        else:
+            tiers = dict(state.tiers)
+            for app_name, tier_name in dirty:
+                tiers[(app_name, tier_name)] = self._solve_tier(
+                    app_name,
+                    tier_name,
+                    self._tier_vms[(app_name, tier_name)],
+                    configuration,
+                    workloads[app_name],
+                    None,
+                )
+        return SolveState(
+            configuration=configuration,
+            tiers=tiers,
+            estimate=self._compose(configuration, workloads, tiers),
+        )
+
+    # -- shared kernels --------------------------------------------------------
+
+    def _solve_tiers(
+        self,
+        configuration: Configuration,
+        workloads: Mapping[str, float],
+        demand_multipliers: Optional[Mapping[tuple[str, str], float]],
+    ) -> dict[tuple[str, str], TierSolution]:
+        tiers: dict[tuple[str, str], TierSolution] = {}
+        for app_name, rate in workloads.items():
+            for tier_name, vm_ids in self._app_tiers.get(app_name, ()):
+                multiplier = (
+                    demand_multipliers.get((app_name, tier_name), 1.0)
+                    if demand_multipliers
+                    else None
+                )
+                tiers[(app_name, tier_name)] = self._solve_tier(
+                    app_name,
+                    tier_name,
+                    vm_ids,
+                    configuration,
+                    rate,
+                    multiplier,
+                )
+        return tiers
+
+    def _solve_tier(
+        self,
+        app_name: str,
+        tier_name: str,
+        vm_ids: tuple[str, ...],
+        configuration: Configuration,
+        rate: float,
+        demand_multiplier: Optional[float],
+    ) -> TierSolution:
+        """Solve one tier in isolation (the shared full/delta kernel)."""
+        params = self._parameters
+        placed = [
+            (vm_id, configuration.placement_of(vm_id))
+            for vm_id in vm_ids
+            if configuration.is_placed(vm_id)
+        ]
+        demand = params.inflated_demand(app_name, tier_name)
+        if demand_multiplier is not None:
+            demand *= demand_multiplier
+        visits = params.visits(app_name, tier_name)
+
+        if not placed:
+            # Tier entirely dormant: requests needing it fail to
+            # complete; model as full saturation.
+            if demand > 0 and rate > 0:
+                return TierSolution(
+                    utilization=float("inf"),
+                    term=params.overload_slope_seconds,
+                    saturated=True,
+                    vm_utilizations=(),
+                    host_busy=(),
+                )
+            return TierSolution(
+                utilization=None,
+                term=0.0,
+                saturated=False,
+                vm_utilizations=(),
+                host_busy=(),
+            )
+
+        total_cap = sum(placement.cpu_cap for _, placement in placed)
+        rho = (rate * demand / total_cap) if total_cap > 0 else float("inf")
+
+        tier_time = 0.0
+        served_rho = min(rho, 1.0)
+        vm_utilizations: list[tuple[str, float]] = []
+        host_busy: list[tuple[str, float]] = []
+        for vm_id, placement in placed:
+            routing = placement.cpu_cap / total_cap
+            base = demand / placement.cpu_cap
+            tier_time += routing * _ps_response(
+                base,
+                rho,
+                params.saturation_knee,
+                params.overload_slope_seconds,
+            )
+            vm_utilizations.append((vm_id, served_rho))
+            # CPU actually burned: utilization of the cap, plus
+            # the Dom-0 work for the visits this replica serves.
+            served_rate = min(rate, total_cap / demand if demand else rate)
+            host_busy.append(
+                (
+                    placement.host_id,
+                    served_rho * placement.cpu_cap
+                    + routing * served_rate * visits
+                    * params.dom0_demand_per_visit,
+                )
+            )
+        return TierSolution(
+            utilization=rho,
+            term=tier_time + visits * params.network_latency_per_visit,
+            saturated=rho >= 1.0,
+            vm_utilizations=tuple(vm_utilizations),
+            host_busy=tuple(host_busy),
+        )
+
+    def _compose(
+        self,
+        configuration: Configuration,
+        workloads: Mapping[str, float],
+        tiers: Mapping[tuple[str, str], TierSolution],
+    ) -> PerformanceEstimate:
+        """Assemble an estimate from per-tier solutions.
+
+        Accumulation order (apps in workload order, tiers in catalog
+        order, replicas in placement order) matches the historical
+        monolithic solve exactly, so composed estimates are bit-stable
+        regardless of which tiers were delta-solved.
+        """
         params = self._parameters
         estimate = PerformanceEstimate()
+        # Every powered host gets a busy entry — hosts carrying no VM
+        # idle at 0.0.  Placements on unpowered hosts cannot exist (the
+        # Configuration invariant), so busy terms index directly.
         host_busy: dict[str, float] = {
             host_id: 0.0 for host_id in configuration.powered_hosts
         }
@@ -81,66 +331,24 @@ class LqnSolver:
         for app_name, rate in workloads.items():
             if rate < 0:
                 raise ValueError(f"negative workload for {app_name!r}")
+            app_tiers = self._app_tiers.get(app_name)
+            if not app_tiers:
+                raise KeyError(f"no VMs in catalog for application {app_name!r}")
             response = params.network_latency_per_request
             saturated = False
-            tiers = [
-                (tier_key[1], vm_ids)
-                for tier_key, vm_ids in self._tier_vms.items()
-                if tier_key[0] == app_name
-            ]
-            if not tiers:
-                raise KeyError(f"no VMs in catalog for application {app_name!r}")
-
-            for tier_name, vm_ids in tiers:
-                placed = [
-                    (vm_id, configuration.placement_of(vm_id))
-                    for vm_id in vm_ids
-                    if configuration.is_placed(vm_id)
-                ]
-                demand = params.inflated_demand(app_name, tier_name)
-                if demand_multipliers:
-                    demand *= demand_multipliers.get((app_name, tier_name), 1.0)
-                visits = params.visits(app_name, tier_name)
-
-                if not placed:
-                    # Tier entirely dormant: requests needing it fail to
-                    # complete; model as full saturation.
-                    if demand > 0 and rate > 0:
-                        estimate.tier_utilizations[(app_name, tier_name)] = (
-                            float("inf")
-                        )
-                        response += params.overload_slope_seconds
-                        saturated = True
-                    continue
-
-                total_cap = sum(placement.cpu_cap for _, placement in placed)
-                rho = (rate * demand / total_cap) if total_cap > 0 else float("inf")
-                estimate.tier_utilizations[(app_name, tier_name)] = rho
-                if rho >= 1.0:
+            for tier_name, _ in app_tiers:
+                solution = tiers[(app_name, tier_name)]
+                if solution.utilization is not None:
+                    estimate.tier_utilizations[(app_name, tier_name)] = (
+                        solution.utilization
+                    )
+                response += solution.term
+                if solution.saturated:
                     saturated = True
-
-                tier_time = 0.0
-                served_rho = min(rho, 1.0)
-                for vm_id, placement in placed:
-                    routing = placement.cpu_cap / total_cap
-                    base = demand / placement.cpu_cap
-                    tier_time += routing * _ps_response(
-                        base,
-                        rho,
-                        params.saturation_knee,
-                        params.overload_slope_seconds,
-                    )
-                    estimate.vm_utilizations[vm_id] = served_rho
-                    host_busy.setdefault(placement.host_id, 0.0)
-                    # CPU actually burned: utilization of the cap, plus
-                    # the Dom-0 work for the visits this replica serves.
-                    served_rate = min(rate, total_cap / demand if demand else rate)
-                    host_busy[placement.host_id] += (
-                        served_rho * placement.cpu_cap
-                        + routing * served_rate * visits
-                        * params.dom0_demand_per_visit
-                    )
-                response += tier_time + visits * params.network_latency_per_visit
+                for vm_id, utilization in solution.vm_utilizations:
+                    estimate.vm_utilizations[vm_id] = utilization
+                for host_id, busy in solution.host_busy:
+                    host_busy[host_id] += busy
 
             estimate.response_times[app_name] = response
             if saturated:

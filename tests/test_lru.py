@@ -1,0 +1,81 @@
+"""Tests for the bounded LRU mapping behind the optimizer caches."""
+
+import pytest
+
+from repro.core.lru import LruDict
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LruDict(0)
+    with pytest.raises(ValueError):
+        LruDict(-3)
+
+
+def test_insert_beyond_capacity_evicts_oldest():
+    cache = LruDict(3)
+    for key in "abc":
+        cache.put(key, key.upper())
+    cache.put("d", "D")
+    assert "a" not in cache
+    assert list(cache) == ["b", "c", "d"]
+    assert cache.evictions == 1
+
+
+def test_hit_refreshes_recency():
+    cache = LruDict(3)
+    for key in "abc":
+        cache.put(key, key.upper())
+    # Touch the oldest entry: "b" becomes the eviction victim instead.
+    assert cache.get("a") == "A"
+    cache.put("d", "D")
+    assert "a" in cache
+    assert "b" not in cache
+    assert list(cache) == ["c", "a", "d"]
+
+
+def test_put_refreshes_existing_key_without_evicting():
+    cache = LruDict(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh, not insert
+    assert len(cache) == 2
+    assert cache.evictions == 0
+    assert list(cache) == ["b", "a"]
+    cache.put("c", 3)  # now "b" is the oldest
+    assert "b" not in cache
+    assert cache.get("a") == 10
+
+
+def test_miss_returns_default_and_counts():
+    cache = LruDict(2)
+    assert cache.get("missing") is None
+    assert cache.get("missing", 42) == 42
+    cache.put("a", 1)
+    cache.get("a")
+    assert cache.misses == 2
+    assert cache.hits == 1
+
+
+def test_clear_drops_entries_keeps_counters():
+    cache = LruDict(2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.capacity == 2
+
+
+def test_eviction_sequence_is_strictly_lru():
+    cache = LruDict(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")
+    cache.put("c", 3)  # evicts "b"
+    cache.get("a")
+    cache.put("d", 4)  # evicts "c"
+    assert list(cache) == ["a", "d"]
+    assert cache.evictions == 2
