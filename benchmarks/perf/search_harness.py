@@ -175,12 +175,86 @@ def bench_solver(app_count: int, seconds: float = 1.0) -> dict:
     }
 
 
+def capture_metrics(app_count: int = 2, runs: int = 2) -> Optional[dict]:
+    """Telemetry snapshot of an instrumented, *untimed* search pass.
+
+    Runs on a fresh testbed/search — reusing the timed benchmark's
+    objects would replay warm caches and inflate the hit ratios — and
+    with telemetry enabled, which the timed passes never are (their
+    numbers must stay comparable to uninstrumented baselines).  Returns
+    ``None`` on checkouts that predate ``repro.telemetry``.
+    """
+    try:
+        from repro.telemetry import runtime as telemetry
+    except ImportError:  # pre-telemetry baseline checkout
+        return None
+    testbed = make_testbed(app_count, seed=0)
+    settings_kwargs: dict = {"self_aware": True}
+    if "incremental" in _SETTINGS_FIELDS:
+        settings_kwargs["incremental"] = True
+    search = AdaptationSearch(
+        testbed.applications,
+        testbed.catalog,
+        testbed.limits,
+        testbed.estimator,
+        testbed.cost_manager,
+        _global_perf_pwr(testbed),
+        testbed.host_ids,
+        settings=SearchSettings(**settings_kwargs),
+    )
+    names = [app.name for app in testbed.applications]
+    start = initial_configuration(testbed)
+    telemetry.enable()  # in-memory sink; events are discarded below
+    try:
+        for run in range(runs):
+            workloads = _workloads(names, run)
+            search.perf_pwr.optimize(workloads)
+            search.search(start, workloads, 300.0)
+        snapshot = telemetry.registry.snapshot()
+    finally:
+        telemetry.disable()
+
+    counters = snapshot["counters"]
+    caches = snapshot["caches"]
+
+    def hit_ratio(name: str) -> Optional[float]:
+        stats = caches.get(name)
+        if not stats:
+            return None
+        total = stats["hits"] + stats["misses"]
+        return stats["hits"] / total if total else None
+
+    generated = counters.get("search.children_generated", 0)
+    pruned = counters.get("search.children_pruned", 0)
+    evaluations = counters.get("estimator.evaluations", 0)
+    return {
+        "app_count": app_count,
+        "host_count": len(testbed.host_ids),
+        "runs": runs,
+        "derived": {
+            "prune_rate": (
+                pruned / (generated + pruned) if generated + pruned else None
+            ),
+            "estimator_cache_hit_ratio": hit_ratio("estimator.steady"),
+            "perf_pwr_quality_hit_ratio": hit_ratio("perf_pwr.quality"),
+            "incremental_evaluation_share": (
+                counters.get("estimator.incremental_evaluations", 0)
+                / evaluations
+                if evaluations
+                else None
+            ),
+        },
+        "snapshot": snapshot,
+    }
+
+
 def run_suite(
     sizes: tuple[int, ...] = SYSTEM_SIZES,
     runs: int = 5,
     incremental_only: bool = False,
 ) -> dict:
-    """The full benchmark payload: searches and solver throughput.
+    """The full benchmark payload: searches, solver throughput, and an
+    instrumented metrics capture.
 
     ``incremental_only`` skips the (slower) full-evaluation search
     variants — useful for a quick look at the current numbers.
@@ -201,7 +275,11 @@ def run_suite(
     solver = {
         f"apps-{app_count}": bench_solver(app_count) for app_count in sizes
     }
-    return {"search": searches, "solver": solver}
+    return {
+        "search": searches,
+        "solver": solver,
+        "metrics": capture_metrics(app_count=min(sizes)),
+    }
 
 
 def summarize_speedup(

@@ -9,6 +9,7 @@ actions, and the accrued utility.
 Run with:  python examples/quickstart.py
 """
 
+from repro import telemetry
 from repro.testbed import build_mistral, make_testbed
 
 
@@ -19,7 +20,14 @@ def main() -> None:
     print(f"initial configuration: {initial}")
     print()
 
+    # Telemetry is off by default; enabling it here collects search /
+    # cache counters for the summary below (write a JSONL trace instead
+    # with telemetry.enable(jsonl_path=...) and roll it up with
+    # scripts/telemetry_report.py).
+    telemetry.enable()
     metrics = testbed.run(controller, initial, "mistral", horizon=90 * 60.0)
+    counters = telemetry.registry.snapshot()["counters"]
+    telemetry.disable()
 
     print(f"samples: {len(metrics.power_watts)}")
     print(f"cumulative utility: {metrics.cumulative_utility():+.2f}")
@@ -32,6 +40,12 @@ def main() -> None:
             f"target missed in {series.fraction_above(target):.0%} of intervals"
         )
     print()
+    print(
+        f"searches: {counters.get('search.runs', 0)} "
+        f"({counters.get('search.expansions', 0)} expansions, "
+        f"{counters.get('estimator.incremental_evaluations', 0)} "
+        f"incremental evaluations)"
+    )
     print(f"adaptation actions executed: {metrics.action_count()}")
     for record in metrics.actions[:10]:
         print(

@@ -145,6 +145,10 @@ def main(argv: list[str] | None = None) -> int:
         },
         "baseline": baseline,
         "current": current,
+        # Instrumented-pass telemetry (hit ratios, prune rate, delta
+        # share) surfaced next to the timings; None when the measured
+        # tree predates repro.telemetry.
+        "metrics": current.pop("metrics", None),
         "speedup_vs_baseline": search_harness.summarize_speedup(
             current["search"], baseline["search"]
         ),

@@ -14,15 +14,25 @@ The package provides:
 - ``repro.baselines`` — the Perf-Pwr / Perf-Cost / Pwr-Cost baselines.
 - ``repro.testbed`` — the experiment rig (scenarios, runs, metrics).
 - ``repro.experiments`` — one module per paper figure/table.
+- ``repro.telemetry`` — metrics registry, span tracer, and JSONL
+  trace sinks (off by default; see DESIGN.md §9).
 
 Quickstart::
 
+    from repro import telemetry
     from repro.testbed import make_testbed, build_mistral
 
     testbed = make_testbed(app_count=2, seed=0)
     controller, initial = build_mistral(testbed)
+
+    telemetry.enable(jsonl_path="mistral_trace.jsonl")
     metrics = testbed.run(controller, initial, "mistral")
+    telemetry.disable()
+
     print(metrics.cumulative_utility())
+    # Then: python scripts/telemetry_report.py mistral_trace.jsonl
+    # for per-controller decision tables, search/prune counts, and
+    # cache hit ratios rolled up from the trace.
 """
 
 from __future__ import annotations

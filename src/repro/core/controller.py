@@ -19,6 +19,7 @@ from typing import Mapping, Optional
 from repro.core.actions import AdaptationAction
 from repro.core.config import Configuration
 from repro.core.search import AdaptationSearch, SearchOutcome
+from repro.telemetry import runtime as _telemetry
 from repro.workload.monitor import BandEscape, WorkloadMonitor
 
 
@@ -169,13 +170,33 @@ class MistralController:
         expected_rate = (
             expected / window if expected is not None else None
         )
-        outcome = self.search.search(
-            configuration,
-            planning_workloads,
+        with _telemetry.span(
+            "controller.decision",
+            controller=self.name,
+            t_sim=now,
+            escaped_apps=sorted(escape.escaped_apps),
+            measured_interval=escape.measured_interval,
             control_window=window,
-            expected_utility=expected,
-            expected_rate=expected_rate,
-        )
+        ) as decision_span:
+            outcome = self.search.search(
+                configuration,
+                planning_workloads,
+                control_window=window,
+                expected_utility=expected,
+                expected_rate=expected_rate,
+            )
+            decision_span.set(
+                actions=[type(a).__name__ for a in outcome.actions],
+                null=outcome.is_null,
+                expansions=outcome.expansions,
+                decision_seconds=outcome.decision_seconds,
+                search_watts=self.search.settings.search_watts_delta,
+                predicted_utility=outcome.predicted_utility,
+            )
+        if _telemetry.enabled:
+            _telemetry.registry.counter("controller.decisions").inc()
+            if outcome.is_null:
+                _telemetry.registry.counter("controller.null_decisions").inc()
         self.stats.decisions += 1
         self.stats.search_seconds.append(outcome.decision_seconds)
         self.stats.expansions.append(outcome.expansions)

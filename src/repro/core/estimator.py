@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Optional
 from repro.core.config import Configuration, VmCatalog
 from repro.core.lru import LruDict
 from repro.core.utility import UtilityModel
+from repro.telemetry import runtime as _telemetry
 from repro.perfmodel.lqn import PerformanceEstimate
 from repro.perfmodel.solver import LqnSolver
 from repro.power.model import SystemPowerModel
@@ -74,8 +75,12 @@ class UtilityEstimator:
         self.power_models = power_models
         self.utility = utility
         self.catalog = catalog
-        self._cache: LruDict[tuple, SteadyEstimate] = LruDict(cache_size)
-        self._states: LruDict[tuple, object] = LruDict(state_cache_size)
+        self._cache: LruDict[tuple, SteadyEstimate] = LruDict(
+            cache_size, name="estimator.steady"
+        )
+        self._states: LruDict[tuple, object] = LruDict(
+            state_cache_size, name="estimator.states"
+        )
         self.evaluations = 0
         #: How many of the evaluations went through the delta path.
         self.incremental_evaluations = 0
@@ -105,9 +110,13 @@ class UtilityEstimator:
         cache_key = (configuration, key)
         cached = self._cache.get(cache_key)
         if cached is not None:
+            if _telemetry.enabled:
+                _telemetry.registry.counter("estimator.memo_hits").inc()
             return cached
 
         self.evaluations += 1
+        if _telemetry.enabled:
+            _telemetry.registry.counter("estimator.evaluations").inc()
         performance = self.solver.solve(configuration, workloads)
         estimate = self._finish(configuration, workloads, performance)
         self._cache.put(cache_key, estimate)
@@ -134,6 +143,8 @@ class UtilityEstimator:
         self._states.put(cache_key, state)
         if cache_key not in self._cache:
             self.evaluations += 1
+            if _telemetry.enabled:
+                _telemetry.registry.counter("estimator.evaluations").inc()
             self._cache.put(
                 cache_key,
                 self._finish(configuration, workloads, state.estimate),
@@ -160,6 +171,8 @@ class UtilityEstimator:
         cache_key = (configuration, key)
         cached = self._cache.get(cache_key)
         if cached is not None:
+            if _telemetry.enabled:
+                _telemetry.registry.counter("estimator.memo_hits").inc()
             return cached
 
         self.evaluations += 1
@@ -169,11 +182,17 @@ class UtilityEstimator:
             # solve fully, planting a state so descendants resume the
             # delta path.
             state = self.solver.solve_state(configuration, workloads)
+            if _telemetry.enabled:
+                _telemetry.registry.counter("estimator.evaluations").inc()
         else:
             state = self.solver.update_state(
                 parent_state, configuration, workloads, changed_vms
             )
             self.incremental_evaluations += 1
+            if _telemetry.enabled:
+                registry = _telemetry.registry
+                registry.counter("estimator.evaluations").inc()
+                registry.counter("estimator.incremental_evaluations").inc()
         estimate = self._finish(configuration, workloads, state.estimate)
         self._states.put(cache_key, state)
         self._cache.put(cache_key, estimate)

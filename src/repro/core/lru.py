@@ -10,11 +10,20 @@ the least recently touched entry only.
 
 Built on the insertion-order guarantee of the plain ``dict``: moving to
 the back is a pop + reinsert, the eviction victim is the first key.
+
+The hit/miss/eviction counters are plain unconditional integer
+increments (they predate the telemetry subsystem and cost nothing
+measurable).  Passing a ``name`` additionally registers the cache with
+``repro.telemetry`` so metric snapshots surface those counters
+aggregated per cache name — e.g. ``estimator.steady`` across every
+estimator instance in the process.
 """
 
 from __future__ import annotations
 
 from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.telemetry import runtime as _telemetry
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -25,9 +34,17 @@ _MISSING = object()
 class LruDict(Generic[K, V]):
     """Bounded key-value store evicting the least recently used entry."""
 
-    __slots__ = ("_data", "_capacity", "hits", "misses", "evictions")
+    __slots__ = (
+        "_data",
+        "_capacity",
+        "hits",
+        "misses",
+        "evictions",
+        "name",
+        "__weakref__",
+    )
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
         self._data: dict[K, V] = {}
@@ -35,6 +52,9 @@ class LruDict(Generic[K, V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.name = name
+        if name is not None:
+            _telemetry.register_cache(name, self)
 
     @property
     def capacity(self) -> int:

@@ -21,6 +21,7 @@ across host counts.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -33,6 +34,7 @@ from repro.core.config import (
 )
 from repro.core.estimator import SteadyEstimate, UtilityEstimator
 from repro.core.lru import LruDict
+from repro.telemetry import runtime as _telemetry
 
 
 @dataclass(frozen=True)
@@ -122,9 +124,13 @@ class PerfPwrOptimizer:
         # naturally invalidates stale entries.
         self._quality_cache: LruDict[
             tuple, tuple[float, float, dict[str, float]]
-        ] = LruDict(100_000)
-        self._result_cache: LruDict[tuple, PerfPwrResult] = LruDict(5_000)
-        self._minimal_cache: LruDict[tuple, CapacityPlan] = LruDict(5_000)
+        ] = LruDict(100_000, name="perf_pwr.quality")
+        self._result_cache: LruDict[tuple, PerfPwrResult] = LruDict(
+            5_000, name="perf_pwr.result"
+        )
+        self._minimal_cache: LruDict[tuple, CapacityPlan] = LruDict(
+            5_000, name="perf_pwr.minimal"
+        )
 
     # -- public API ---------------------------------------------------------
 
@@ -137,7 +143,10 @@ class PerfPwrOptimizer:
         wkey = self.estimator.workload_key(workloads)
         memoized = self._result_cache.get(wkey)
         if memoized is not None:
+            if _telemetry.enabled:
+                _telemetry.registry.counter("perf_pwr.memo_hits").inc()
             return memoized
+        wall_start = time.perf_counter() if _telemetry.enabled else 0.0
         start_evaluations = self.estimator.evaluations
         results: list[PerfPwrResult] = []
         plan = self._max_plan()
@@ -192,6 +201,15 @@ class PerfPwrOptimizer:
         best.alternatives = results
         best.evaluations = self.estimator.evaluations - start_evaluations
         self._result_cache.put(wkey, best)
+        if _telemetry.enabled:
+            _telemetry.registry.counter("perf_pwr.optimizations").inc()
+            _telemetry.tracer.event(
+                "perf_pwr.optimize",
+                dur=time.perf_counter() - wall_start,
+                evaluations=best.evaluations,
+                hosts_used=best.hosts_used,
+                host_counts_tried=len(results),
+            )
         return best
 
     def minimal_capacities(

@@ -53,6 +53,7 @@ from repro.core.estimator import SteadyEstimate, UtilityEstimator
 from repro.core.perf_pwr import PerfPwrOptimizer, PerfPwrResult
 from repro.core.planner import plan_transition
 from repro.costmodel.manager import CostManager
+from repro.telemetry import runtime as _telemetry
 
 #: All action families the search may use.
 ALL_ACTION_KINDS: frozenset[str] = frozenset(
@@ -566,17 +567,80 @@ class AdaptationSearch:
         current_estimate = self.estimator.estimate(current, workloads, key=wkey)
         current_rate = current_estimate.total_rate
 
+        # Instrumentation tallies (cheap unconditional ints; flushed to
+        # the telemetry registry by ``complete`` only when enabled).
+        generated = 0
+        pruned_away = 0
+        candidate_pushes = 0
+
+        def complete(
+            actions: tuple[AdaptationAction, ...],
+            final_configuration: Configuration,
+            predicted_utility: float,
+            expansions: int,
+            decision_seconds: float,
+            pruning_activated: bool,
+            optimal: bool,
+            early_return: bool = False,
+        ) -> SearchOutcome:
+            """Construct the outcome — every return path funnels through
+            here so ``wall_seconds`` is always measured against the
+            ``wall_start`` taken at entry (the no-escape early return
+            included), and so one search emits exactly one telemetry
+            record."""
+            outcome = SearchOutcome(
+                actions=actions,
+                final_configuration=final_configuration,
+                predicted_utility=predicted_utility,
+                ideal=ideal,
+                expansions=expansions,
+                decision_seconds=decision_seconds,
+                wall_seconds=time.perf_counter() - wall_start,
+                pruning_activated=pruning_activated,
+                optimal=optimal,
+            )
+            if _telemetry.enabled:
+                registry = _telemetry.registry
+                registry.counter("search.runs").inc()
+                registry.counter("search.expansions").inc(outcome.expansions)
+                registry.counter("search.children_generated").inc(generated)
+                registry.counter("search.children_pruned").inc(pruned_away)
+                registry.counter("search.candidates").inc(candidate_pushes)
+                if early_return:
+                    registry.counter("search.early_returns").inc()
+                # How far the admissible bound over-estimated the
+                # utility the committed plan actually promises.
+                registry.gauge("search.heuristic_gap").set(
+                    window * ideal_rate - outcome.predicted_utility
+                )
+                _telemetry.tracer.event(
+                    "search.run",
+                    dur=outcome.wall_seconds,
+                    self_aware=settings.self_aware,
+                    incremental=incremental,
+                    expansions=outcome.expansions,
+                    children_generated=generated,
+                    children_pruned=pruned_away,
+                    candidates=candidate_pushes,
+                    pruning_activated=outcome.pruning_activated,
+                    decision_seconds=outcome.decision_seconds,
+                    predicted_utility=outcome.predicted_utility,
+                    actions=len(outcome.actions),
+                    optimal=outcome.optimal,
+                    early_return=early_return,
+                )
+            return outcome
+
         if ideal.configuration == current:
-            return SearchOutcome(
+            return complete(
                 actions=(),
                 final_configuration=current,
                 predicted_utility=window * current_rate,
-                ideal=ideal,
                 expansions=0,
                 decision_seconds=settings.per_vertex_seconds,
-                wall_seconds=time.perf_counter() - wall_start,
                 pruning_activated=False,
                 optimal=True,
+                early_return=True,
             )
 
         ideal_weights, ideal_caps = self._ideal_distance_basis(ideal)
@@ -793,8 +857,10 @@ class AdaptationSearch:
             return child
 
         def push_with_terminal(vertex: _Vertex) -> None:
+            nonlocal candidate_pushes
             push(vertex)
             if vertex.is_candidate:
+                candidate_pushes += 1
                 terminal = _Vertex(
                     configuration=vertex.configuration,
                     actions=vertex.actions,
@@ -854,6 +920,13 @@ class AdaptationSearch:
 
         expansions = 0
         result_vertex: Optional[_Vertex] = None
+        # Hoisted once: per-expansion wall timing only when telemetry
+        # is on (two clock reads per expansion otherwise saved).
+        expand_hist = (
+            _telemetry.registry.histogram("search.expand_seconds")
+            if _telemetry.enabled
+            else None
+        )
         while heap:
             neg_priority, _, _, vertex = heapq.heappop(heap)
             key = (vertex.configuration, vertex.terminal)
@@ -866,6 +939,8 @@ class AdaptationSearch:
                 result_vertex = best_terminal
                 break
             expansions += 1
+            if expand_hist is not None:
+                expand_t0 = time.perf_counter()
             if len(vertex.actions) >= settings.max_plan_actions:
                 continue
 
@@ -923,6 +998,8 @@ class AdaptationSearch:
                 keep = max(
                     1, math.ceil(settings.prune_fraction * len(reachable))
                 )
+                if len(reachable) > keep:
+                    pruned_away += len(reachable) - keep
                 for _, _, action, new_config, delta in reachable[:keep]:
                     child = build_child(
                         vertex,
@@ -943,6 +1020,9 @@ class AdaptationSearch:
                     settings.per_child_apply_seconds
                     + settings.per_child_eval_seconds
                 )
+            generated += len(children)
+            if expand_hist is not None:
+                expand_hist.observe(time.perf_counter() - expand_t0)
 
             # Self-aware accounting (Algorithm 1's T, UT, UpwrT, UH).
             elapsed_search += tick
@@ -985,7 +1065,7 @@ class AdaptationSearch:
         decision_seconds = max(
             settings.per_vertex_seconds, elapsed_search
         )
-        return SearchOutcome(
+        return complete(
             actions=tuple(
                 action
                 for action in result_vertex.actions
@@ -993,10 +1073,8 @@ class AdaptationSearch:
             ),
             final_configuration=result_vertex.configuration,
             predicted_utility=result_vertex.utility,
-            ideal=ideal,
             expansions=expansions,
             decision_seconds=decision_seconds,
-            wall_seconds=time.perf_counter() - wall_start,
             pruning_activated=pruning,
             optimal=expansions < self.settings.max_expansions,
         )

@@ -47,6 +47,7 @@ from typing import Iterable, Mapping, Optional
 
 from repro.core.config import Configuration, VmCatalog
 from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
+from repro.telemetry import runtime as _telemetry
 
 
 @dataclass(frozen=True)
@@ -140,6 +141,8 @@ class LqnSolver:
             Optional per-``(app, tier)`` service-demand multipliers;
             the testbed uses these to inject per-interval noise.
         """
+        if _telemetry.enabled:
+            _telemetry.registry.counter("solver.full_solves").inc()
         tiers = self._solve_tiers(configuration, workloads, demand_multipliers)
         return self._compose(configuration, workloads, tiers)
 
@@ -154,6 +157,8 @@ class LqnSolver:
         optimizers' incremental hot path, which always evaluates the
         calibrated model.
         """
+        if _telemetry.enabled:
+            _telemetry.registry.counter("solver.full_solves").inc()
         tiers = self._solve_tiers(configuration, workloads, None)
         return SolveState(
             configuration=configuration,
@@ -185,6 +190,10 @@ class LqnSolver:
             key = self._vm_tier.get(vm_id)
             if key is not None and key[0] in workloads:
                 dirty.add(key)
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("solver.incremental_solves").inc()
+            registry.counter("solver.tiers_resolved").inc(len(dirty))
         if not dirty:
             tiers = state.tiers
         else:

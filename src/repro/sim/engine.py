@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.telemetry import runtime as _telemetry
+
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, running twice...)."""
@@ -151,6 +153,18 @@ class SimulationEngine:
             if event.cancelled:
                 continue
             self._now = event.time
+            if _telemetry.enabled:
+                _telemetry.registry.counter("sim.events").inc()
+                if event.label:
+                    # Labels like "finish:increase_cpu(...)" carry the
+                    # action instance; group the counter by the prefix
+                    # to keep metric cardinality bounded, and put the
+                    # full label on the trace event.
+                    kind = event.label.split(":", 1)[0]
+                    _telemetry.registry.counter(f"sim.events.{kind}").inc()
+                    _telemetry.tracer.event(
+                        "sim.tick", label=event.label, t_sim=event.time
+                    )
             event.callback()
             return True
         return False

@@ -1,0 +1,87 @@
+"""Telemetry: metrics registry, structured tracing, profiling hooks.
+
+Mistral's defining claim is that the controller accounts for the cost
+of its own decision procedure (paper Fig. 10, Table I).  This package
+makes that cost — and everything else the optimizers do — observable:
+
+- :mod:`repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms in a :class:`MetricsRegistry`, plus aggregated
+  hit/miss/evict stats for every named LRU cache;
+- :mod:`repro.telemetry.trace` — a span-based tracer emitting
+  schema-versioned JSONL events to pluggable sinks (in-memory ring
+  buffer, JSONL file, null);
+- :mod:`repro.telemetry.runtime` — the process-global enabled flag,
+  registry, and tracer that the instrumented hot layers (search,
+  solver, caches, controller, simulation engine) consult.
+
+Usage::
+
+    from repro import telemetry
+
+    telemetry.enable(jsonl_path="trace.jsonl")
+    ...  # run searches / experiments
+    telemetry.emit_metrics_snapshot()
+    telemetry.disable()
+    # then: python scripts/telemetry_report.py trace.jsonl
+
+Telemetry is **off by default** and instrumented code guards every
+instrument touch behind ``runtime.enabled``, so the disabled overhead
+is one attribute read and a branch per site (< 2% end to end; see
+DESIGN.md §9 for the contract and the event schema).
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import (
+    disable,
+    emit_metrics_snapshot,
+    enable,
+    event,
+    register_cache,
+    registry,
+    span,
+    tracer,
+)
+from repro.telemetry.trace import (
+    SCHEMA_VERSION,
+    JsonlFileSink,
+    NullSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+)
+from repro.telemetry import runtime
+
+__all__ = [
+    "DEFAULT_TIME_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "JsonlFileSink",
+    "NullSink",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+    "disable",
+    "emit_metrics_snapshot",
+    "enable",
+    "enabled",
+    "event",
+    "register_cache",
+    "registry",
+    "runtime",
+    "span",
+    "tracer",
+]
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently on (live view of the flag)."""
+    return runtime.enabled

@@ -1,0 +1,237 @@
+"""Zero-dependency metric instruments and their registry.
+
+Three instrument kinds, mirroring the usual time-series vocabulary:
+
+- :class:`Counter` — monotonically increasing integer (``inc``).
+  Python integers are arbitrary-precision, so counters accumulate
+  without overflow for any run length.
+- :class:`Gauge` — last-written float (``set``).
+- :class:`Histogram` — fixed upper-bound buckets chosen at creation
+  (``observe``).  Bucket ``i`` counts observations in
+  ``(bounds[i-1], bounds[i]]`` — a value landing exactly on a bound is
+  counted in that bound's bucket — and one overflow bucket catches
+  everything above the last bound.
+
+The :class:`MetricsRegistry` hands out instruments by dotted name
+(``search.expansions``) and snapshots them all into one plain dict.
+It also aggregates the hit/miss/eviction counters of registered
+:class:`~repro.core.lru.LruDict` caches by cache name (instances are
+held by weak reference, so registering never extends a cache's life).
+
+Instruments are deliberately *not* guarded by the global telemetry
+flag themselves: the flag check belongs at the instrumentation site
+(``if _telemetry.enabled: ...``), so that disabled code paths never
+even touch an instrument — see ``repro.telemetry.runtime``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+from typing import Iterable, Optional, Sequence
+
+#: Default histogram bounds, in seconds — spans microseconds (one
+#: incremental child evaluation) to whole seconds (a naive full-eval
+#: expansion wave).
+DEFAULT_TIME_BOUNDS: tuple[float, ...] = (
+    0.0001,
+    0.0003,
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written float metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BOUNDS
+    ) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bound")
+        ordered = tuple(float(bound) for bound in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        ``bisect_left`` implements the upper-bound convention: a value
+        equal to ``bounds[i]`` falls in bucket ``i``, anything above
+        the last bound in the overflow bucket.
+        """
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 before the first)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments plus registered caches, snapshot-able as a dict."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # name -> weak refs to LruDict-shaped objects (hits / misses /
+        # evictions / __len__ / capacity).  Several instances may share
+        # a name (one estimator cache per testbed); stats aggregate.
+        self._caches: dict[str, list[weakref.ref]] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``bounds`` only applies at creation; later callers get the
+        existing instrument whatever bounds they pass.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_TIME_BOUNDS
+            )
+        return instrument
+
+    def _check_free(self, name: str, owner: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not owner and name in kind:
+                raise ValueError(
+                    f"metric name {name!r} already used by another kind"
+                )
+
+    # -- caches ------------------------------------------------------------
+
+    def register_cache(self, name: str, cache: object) -> None:
+        """Surface a cache's hit/miss/evict counters under ``name``."""
+        self._caches.setdefault(name, []).append(weakref.ref(cache))
+
+    def _live_caches(self, refs: Iterable[weakref.ref]) -> list[object]:
+        return [cache for ref in refs for cache in (ref(),) if cache is not None]
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Aggregated per-name cache counters (dead instances dropped)."""
+        stats: dict[str, dict[str, int]] = {}
+        for name, refs in sorted(self._caches.items()):
+            live = self._live_caches(refs)
+            if not live:
+                continue
+            stats[name] = {
+                "instances": len(live),
+                "hits": sum(cache.hits for cache in live),
+                "misses": sum(cache.misses for cache in live),
+                "evictions": sum(cache.evictions for cache in live),
+                "entries": sum(len(cache) for cache in live),
+            }
+        return stats
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as one JSON-friendly dict."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                    "mean": histogram.mean,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "caches": self.cache_stats(),
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument and forget dead cache references.
+
+        Live caches stay registered (their own counters are not
+        zeroed — they belong to the cache), so a reset starts a fresh
+        measurement window for instruments while cache totals remain
+        cumulative.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        for name, refs in list(self._caches.items()):
+            live = [ref for ref in refs if ref() is not None]
+            if live:
+                self._caches[name] = live
+            else:
+                del self._caches[name]

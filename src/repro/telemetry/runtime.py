@@ -1,0 +1,112 @@
+"""Global telemetry state: the enabled flag, registry, and tracer.
+
+Instrumented hot paths import this module once and guard every
+instrument touch behind the module-level flag::
+
+    from repro.telemetry import runtime as _telemetry
+
+    if _telemetry.enabled:
+        _telemetry.registry.counter("search.expansions").inc()
+
+When ``enabled`` is ``False`` (the default) the cost of an
+instrumentation site is one module-attribute read and a branch — no
+instrument is looked up, no counter attribute is touched, no event is
+built.  That is the repository's overhead contract: telemetry off must
+stay within noise (< 2%) of an uninstrumented build (see DESIGN.md §9).
+
+Cooler paths (one call per controller escape, per experiment run) may
+use the :func:`span` / :func:`event` helpers, which collapse to a
+shared no-op span / an early return while disabled.
+
+The module is process-global on purpose: the searches, estimators, and
+controllers of one experiment are wired across many objects, and
+threading a telemetry handle through every constructor would distort
+the reproduction's API for no benefit in a single-threaded simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    JsonlFileSink,
+    NullSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+)
+
+#: The one flag every instrumentation site checks.
+enabled: bool = False
+
+#: Process-wide instrument registry.
+registry = MetricsRegistry()
+
+#: Process-wide tracer (sink swapped by :func:`enable`).
+tracer = Tracer(NullSink())
+
+
+def enable(
+    jsonl_path: Optional[str] = None,
+    sink: Optional[object] = None,
+    reset_metrics: bool = True,
+) -> None:
+    """Turn telemetry on.
+
+    ``jsonl_path`` routes trace events to a JSONL file;  ``sink``
+    installs any object with ``emit(dict)``/``close()`` (mutually
+    exclusive with ``jsonl_path``); with neither, events go to an
+    in-memory :class:`RingBufferSink`.  ``reset_metrics`` starts the
+    registry from zero so one enable/disable pair brackets one
+    measurement window.
+    """
+    global enabled
+    if jsonl_path is not None and sink is not None:
+        raise ValueError("pass jsonl_path or sink, not both")
+    if jsonl_path is not None:
+        sink = JsonlFileSink(jsonl_path)
+    elif sink is None:
+        sink = RingBufferSink()
+    if reset_metrics:
+        registry.reset()
+    tracer.set_sink(sink)
+    tracer.reset()
+    enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off and close the active sink."""
+    global enabled
+    enabled = False
+    tracer.set_sink(NullSink())
+
+
+def span(name: str, **attrs) -> Union[Span, object]:
+    """A tracer span, or a shared no-op span while disabled."""
+    if not enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point event (dropped while disabled)."""
+    if enabled:
+        tracer.event(name, **attrs)
+
+
+def register_cache(name: str, cache: object) -> None:
+    """Surface an LRU cache's counters in metric snapshots."""
+    registry.register_cache(name, cache)
+
+
+def emit_metrics_snapshot(**attrs) -> None:
+    """Emit the full registry snapshot as one ``metrics.snapshot`` event.
+
+    Call at the end of a run so the trace carries the counters that
+    explain it (cache hit ratios, solver delta/full split, prune
+    counts); ``scripts/telemetry_report.py`` reads the last snapshot.
+    """
+    if enabled:
+        tracer.event("metrics.snapshot", metrics=registry.snapshot(), **attrs)

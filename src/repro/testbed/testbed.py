@@ -36,6 +36,7 @@ from repro.power.calibration import calibrate_power_model
 from repro.power.model import HostPowerModel, SystemPowerModel
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
+from repro.telemetry import runtime as _telemetry
 from repro.testbed.metrics import ActionRecord, RunMetrics, TimeSeries
 from repro.workload.traces import EXPERIMENT_DURATION, Trace
 
@@ -420,7 +421,16 @@ class Testbed:
             start=0.0,
             label="monitor",
         )
-        engine.run_until(span)
+        with _telemetry.span(
+            "testbed.run",
+            strategy=strategy,
+            horizon=span,
+            monitoring_interval=settings.monitoring_interval,
+            hosts=len(self.host_ids),
+            applications=len(self.applications),
+        ):
+            engine.run_until(span)
+        _telemetry.emit_metrics_snapshot(strategy=strategy)
 
         for decision, handle in pending:
             for record in handle.records:

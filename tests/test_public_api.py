@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.testbed",
     "repro.experiments",
+    "repro.telemetry",
 ]
 
 
