@@ -5,12 +5,17 @@ Usage::
 
     python scripts/capture_trace.py --out trace.jsonl                # quick smoke
     python scripts/capture_trace.py --out trace.jsonl --fig10 --horizon 3600
+    python scripts/capture_trace.py --out trace.jsonl --faults --horizon 7200
 
 The default mode runs a handful of adaptation searches against the
 2-app testbed (fast; CI uses this).  ``--fig10`` runs the Fig. 10
 search-cost experiment instead — naive vs. self-aware Mistral on the
 real control loop — so the trace contains per-controller decision
-spans.  Feed the output to ``scripts/telemetry_report.py``.
+spans.  ``--faults`` runs the demo fault scenario from
+docs/OPERATIONS.md (scripted migration failures plus a host crash
+halfway through the horizon), so the trace carries ``fault.*`` /
+``recovery.*`` / ``resilience.*`` events.  Feed the output to
+``scripts/telemetry_report.py``.
 """
 
 from __future__ import annotations
@@ -64,6 +69,28 @@ def capture_fig10(horizon: float, app_count: int, seed: int) -> None:
     run_fig10(app_count=app_count, seed=seed, horizon=horizon)
 
 
+def capture_faults(horizon: float, app_count: int, seed: int) -> None:
+    """The demo fault scenario (docs/OPERATIONS.md walkthrough)."""
+    from repro.testbed import build_mistral, demo_fault_config, make_testbed
+
+    testbed = make_testbed(app_count, seed=seed)
+    controller, initial = build_mistral(testbed)
+    metrics = testbed.run(
+        controller,
+        initial,
+        "mistral",
+        horizon=horizon,
+        faults=demo_fault_config(seed=seed, crash_time=horizon / 2.0),
+    )
+    stats = metrics.fault_stats
+    print(f"cumulative utility: {metrics.cumulative_utility():.2f}")
+    print(
+        f"faults injected: {stats.total()} "
+        f"({stats.action_failures} action failures, "
+        f"{stats.host_crashes} host crashes)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -76,6 +103,11 @@ def main(argv: list[str] | None = None) -> int:
         "--fig10",
         action="store_true",
         help="trace the Fig. 10 experiment instead of the search smoke",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="trace the demo fault scenario (docs/OPERATIONS.md)",
     )
     parser.add_argument(
         "--horizon",
@@ -96,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if options.fig10:
             capture_fig10(options.horizon, options.apps, options.seed)
+        elif options.faults:
+            capture_faults(options.horizon, options.apps, options.seed)
         else:
             capture_search_smoke(options.runs)
     finally:

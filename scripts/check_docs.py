@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Check markdown cross-references across the repo's docs.
+
+Walks every tracked ``*.md`` file, extracts inline links, and fails
+when a relative link points at a file that does not exist or a
+same-file anchor that matches no heading.  External links (http/https/
+mailto) are recorded but not fetched — CI must stay hermetic.
+
+Usage::
+
+    python scripts/check_docs.py          # check the whole repo
+    python scripts/check_docs.py README.md docs/OPERATIONS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned for markdown.
+SKIP_DIRS = {".git", ".venv", "__pycache__", ".pytest_cache", "node_modules"}
+
+#: ``[text](target)`` inline links, ignoring images' leading ``!``.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(paths: list[Path]) -> list[Path]:
+    """The markdown files to check (explicit paths or the whole repo)."""
+    if paths:
+        return paths
+    found = []
+    for path in sorted(ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            found.append(path)
+    return found
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines."""
+    return {
+        slugify(match) for match in HEADING_RE.findall(path.read_text())
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """Problems found in one markdown file's links."""
+    problems = []
+    text = path.read_text()
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:
+            # Same-file anchor: must match one of this file's headings.
+            if anchor and slugify(anchor) not in anchors_of(path):
+                problems.append(f"{path.name}: dangling anchor #{anchor}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link {target}")
+        elif anchor and resolved.suffix == ".md":
+            if slugify(anchor) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.name}: {base} has no heading for #{anchor}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = [Path(arg).resolve() for arg in (argv or sys.argv[1:])]
+    files = markdown_files(args)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"ERROR {problem}")
+    print(f"checked {len(files)} markdown files: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

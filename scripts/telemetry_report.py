@@ -208,6 +208,91 @@ def efficiency_rollup(events: list[dict]) -> dict:
     }
 
 
+def resilience_rollup(events: list[dict]) -> dict:
+    """Fault/recovery behavior from ``fault.*`` / ``recovery.*`` /
+    ``resilience.*`` events (empty dict for fault-free traces)."""
+    fault_actions: dict[str, int] = defaultdict(int)
+    crashes = 0
+    sample_faults: dict[str, int] = defaultdict(int)
+    retries = 0
+    backoffs: list[float] = []
+    plans_aborted = 0
+    rollbacks = 0
+    rollback_actions = 0
+    rollback_skips = 0
+    wasted_utility = 0.0
+    degradations: list[dict] = []
+    recoveries = 0
+    replans = 0
+    noop_decisions = 0
+    for event in events:
+        if event.get("kind") != "event":
+            continue
+        name = event.get("name", "")
+        attrs = event.get("attrs", {})
+        if name == "fault.action":
+            fault_actions[attrs.get("mode", "?")] += 1
+        elif name == "fault.host_crash":
+            crashes += 1
+        elif name == "fault.sample":
+            sample_faults[attrs.get("mode", "?")] += 1
+        elif name == "recovery.retry":
+            retries += 1
+            backoffs.append(attrs.get("backoff_seconds", 0.0))
+        elif name == "recovery.plan_aborted":
+            plans_aborted += 1
+        elif name == "recovery.rollback":
+            rollbacks += 1
+            rollback_actions += attrs.get("actions", 0)
+        elif name == "recovery.rollback_skipped":
+            rollback_skips += 1
+        elif name == "resilience.plan_waste":
+            wasted_utility += attrs.get("wasted_utility", 0.0)
+        elif name == "resilience.degraded":
+            degradations.append(
+                {
+                    "controller": attrs.get("controller", "?"),
+                    "level": attrs.get("level", "?"),
+                    "cause": attrs.get("cause", "?"),
+                    "t_sim": attrs.get("t_sim", 0.0),
+                }
+            )
+        elif name == "resilience.recovered":
+            recoveries += 1
+        elif name == "resilience.replan":
+            replans += 1
+        elif name == "resilience.noop_decision":
+            noop_decisions += 1
+    total_faults = (
+        sum(fault_actions.values()) + crashes + sum(sample_faults.values())
+    )
+    if total_faults == 0 and plans_aborted == 0 and not degradations:
+        return {}
+    return {
+        "faults": {
+            "actions": dict(sorted(fault_actions.items())),
+            "host_crashes": crashes,
+            "samples": dict(sorted(sample_faults.items())),
+            "total": total_faults,
+        },
+        "recovery": {
+            "retries": retries,
+            "mean_backoff_seconds": _mean(backoffs),
+            "plans_aborted": plans_aborted,
+            "rollbacks": rollbacks,
+            "rollback_actions": rollback_actions,
+            "rollback_skips": rollback_skips,
+            "wasted_utility": wasted_utility,
+        },
+        "degradation": {
+            "events": degradations,
+            "recoveries": recoveries,
+            "replans": replans,
+            "noop_decisions": noop_decisions,
+        },
+    }
+
+
 def span_rollup(events: list[dict]) -> dict[str, dict]:
     """Count and total duration per span name."""
     rows: dict[str, dict] = defaultdict(lambda: {"count": 0, "total": 0.0})
@@ -234,6 +319,7 @@ def build_report(events: list[dict]) -> dict:
         "controllers": controller_rollup(events),
         "search": search_rollup(events),
         "efficiency": efficiency_rollup(events),
+        "resilience": resilience_rollup(events),
         "spans": span_rollup(events),
     }
 
@@ -346,6 +432,50 @@ def render(report: dict) -> str:
             f"perf-pwr: {perf_pwr['optimizations']} optimizations, "
             f"{perf_pwr['memo_hits']} memo hits"
         )
+
+    resilience = report.get("resilience", {})
+    if resilience:
+        faults = resilience["faults"]
+        recovery = resilience["recovery"]
+        degradation = resilience["degradation"]
+        out.append("\n== resilience ==")
+        action_summary = (
+            ", ".join(
+                f"{count} {mode}" for mode, count in faults["actions"].items()
+            )
+            or "none"
+        )
+        sample_summary = (
+            ", ".join(
+                f"{count} {mode}" for mode, count in faults["samples"].items()
+            )
+            or "none"
+        )
+        out.append(
+            f"faults={faults['total']}  actions: {action_summary}  "
+            f"host crashes: {faults['host_crashes']}  "
+            f"samples: {sample_summary}"
+        )
+        out.append(
+            f"retries={recovery['retries']} "
+            f"(mean backoff {recovery['mean_backoff_seconds']:.0f}s)  "
+            f"plans aborted={recovery['plans_aborted']}  "
+            f"rollbacks={recovery['rollbacks']} "
+            f"({recovery['rollback_actions']} undo actions, "
+            f"{recovery['rollback_skips']} skipped)"
+        )
+        out.append(
+            f"wasted utility={recovery['wasted_utility']:.2f}  "
+            f"replans={degradation['replans']}  "
+            f"noop decisions={degradation['noop_decisions']}  "
+            f"ladder recoveries={degradation['recoveries']}"
+        )
+        for entry in degradation["events"]:
+            out.append(
+                f"  degraded -> {entry['level']} "
+                f"[{entry['controller']}] cause={entry['cause']} "
+                f"t={entry['t_sim']:.0f}s"
+            )
 
     spans = report["spans"]
     if spans:

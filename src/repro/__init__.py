@@ -16,6 +16,10 @@ The package provides:
 - ``repro.experiments`` — one module per paper figure/table.
 - ``repro.telemetry`` — metrics registry, span tracer, and JSONL
   trace sinks (off by default; see DESIGN.md §9).
+- ``repro.faults`` — deterministic fault injection (action failures,
+  host crashes, stale samples) and the recovery machinery: retries,
+  rollback, re-planning, search degradation (off by default; see
+  docs/OPERATIONS.md and DESIGN.md §10).
 
 Quickstart::
 
@@ -57,8 +61,15 @@ _EXPORTS = {
     "AdaptationSearch": "repro.core.search",
     "SearchSettings": "repro.core.search",
     "PerfPwrOptimizer": "repro.core.perf_pwr",
+    "FaultConfig": "repro.faults",
+    "FaultInjector": "repro.faults",
+    "HostCrash": "repro.faults",
+    "ScriptedActionFault": "repro.faults",
+    "RecoveryPolicy": "repro.faults",
+    "DegradationSettings": "repro.faults",
     "Testbed": "repro.testbed",
     "TestbedSettings": "repro.testbed",
+    "demo_fault_config": "repro.testbed",
     "make_testbed": "repro.testbed",
     "build_mistral": "repro.testbed",
     "build_perf_pwr": "repro.testbed",

@@ -101,6 +101,26 @@ class PhysicalHost:
             )
         self._state = PowerState.OFF
 
+    def abort_boot(self) -> None:
+        """BOOTING -> OFF (the boot stalled out and was abandoned)."""
+        if self._state is not PowerState.BOOTING:
+            raise RuntimeError(
+                f"host {self.host_id}: abort_boot from {self._state.value}"
+            )
+        self._state = PowerState.OFF
+
+    def abort_shutdown(self) -> None:
+        """SHUTTING_DOWN -> ON (the shutdown was abandoned)."""
+        if self._state is not PowerState.SHUTTING_DOWN:
+            raise RuntimeError(
+                f"host {self.host_id}: abort_shutdown from {self._state.value}"
+            )
+        self._state = PowerState.ON
+
+    def crash(self) -> None:
+        """Any state -> OFF, immediately (fault injection)."""
+        self._state = PowerState.OFF
+
     def steady_watts(self, utilization: float) -> float:
         """Power draw in the current state at the given CPU utilization.
 

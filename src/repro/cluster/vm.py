@@ -94,3 +94,11 @@ class VirtualMachine:
             )
         self._state = VmState.ACTIVE
         self._host_id = host_id
+
+    def abort_migration(self) -> None:
+        """Abandon a migration; the VM stays on its source host."""
+        if self._state is not VmState.MIGRATING:
+            raise RuntimeError(
+                f"VM {self.vm_id}: abort_migration from {self._state.value}"
+            )
+        self._state = VmState.ACTIVE

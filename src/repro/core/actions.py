@@ -546,3 +546,55 @@ class PowerOffHost(AdaptationAction):
 
     def __str__(self) -> str:
         return f"power_off({self.host_id})"
+
+
+def invert_action(
+    action: AdaptationAction,
+    before: Configuration,
+    catalog: VmCatalog,
+) -> AdaptationAction:
+    """The action undoing ``action``, given the configuration ``before``
+    it was applied.
+
+    Rollback (DESIGN.md §10) applies these inverses in reverse order
+    over the applied prefix of an aborted plan; because each inverse
+    restores exactly the placement/power edit of its action, the
+    composition restores the exact pre-plan :class:`Configuration`.
+    ``before`` must be the configuration the action applied *to* —
+    inverses of placement actions read the old host/cap off it.
+    """
+    if isinstance(action, NullAction):
+        return action
+    if isinstance(action, IncreaseCpu):
+        return DecreaseCpu(action.vm_id, step=action.step, count=action.count)
+    if isinstance(action, DecreaseCpu):
+        return IncreaseCpu(action.vm_id, step=action.step, count=action.count)
+    if isinstance(action, MigrateVm):
+        placement = before.placement_of(action.vm_id)
+        if placement is None:
+            raise ActionError(
+                f"cannot invert {action}: VM was not placed before it"
+            )
+        return MigrateVm(action.vm_id, placement.host_id)
+    if isinstance(action, AddReplica):
+        (vm_id,) = action.changed_vm_ids(before, catalog)
+        return RemoveReplica(vm_id)
+    if isinstance(action, RemoveReplica):
+        placement = before.placement_of(action.vm_id)
+        if placement is None:
+            raise ActionError(
+                f"cannot invert {action}: VM was not placed before it"
+            )
+        descriptor = catalog.get(action.vm_id)
+        return AddReplica(
+            descriptor.app_name,
+            descriptor.tier_name,
+            placement.host_id,
+            cpu_cap=placement.cpu_cap,
+            vm_id=action.vm_id,
+        )
+    if isinstance(action, PowerOnHost):
+        return PowerOffHost(action.host_id)
+    if isinstance(action, PowerOffHost):
+        return PowerOnHost(action.host_id)
+    raise ActionError(f"no inverse defined for {action!r}")

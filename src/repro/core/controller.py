@@ -12,6 +12,7 @@ cluster.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
@@ -19,6 +20,7 @@ from typing import Mapping, Optional
 from repro.core.actions import AdaptationAction
 from repro.core.config import Configuration
 from repro.core.search import AdaptationSearch, SearchOutcome
+from repro.faults import DegradationLadder, DegradationSettings
 from repro.telemetry import runtime as _telemetry
 from repro.workload.monitor import BandEscape, WorkloadMonitor
 
@@ -56,6 +58,12 @@ class ControllerStats:
     search_seconds: list[float] = field(default_factory=list)
     expansions: list[int] = field(default_factory=list)
     wall_seconds: list[float] = field(default_factory=list)
+    # -- resilience (all zero unless enable_resilience was called) --
+    faults_observed: int = 0
+    degradations: int = 0
+    recoveries: int = 0
+    noop_decisions: int = 0
+    replans: int = 0
 
     def mean_search_seconds(self) -> float:
         """Average decision delay over all searches."""
@@ -92,6 +100,88 @@ class MistralController:
         self.trend_extrapolation = True
         self.trend_threshold = 2.0
         self._last_workloads: Optional[dict[str, float]] = None
+        #: Search degradation ladder; ``None`` (the default) keeps every
+        #: decision on the normal path — resilience must be opted into
+        #: via :meth:`enable_resilience` so fault-free runs stay
+        #: bit-identical to the pre-resilience controller.
+        self.resilience: Optional[DegradationLadder] = None
+        #: Eq. 3 utility wasted by aborted plans, charged against the
+        #: next decision's expected-utility budget ``UH``.
+        self._fault_debt: float = 0.0
+        self._replan_requested: bool = False
+
+    # -- resilience -------------------------------------------------------
+
+    def enable_resilience(
+        self, settings: Optional[DegradationSettings] = None
+    ) -> None:
+        """Attach the degradation ladder (normal → pruned → noop)."""
+        self.resilience = DegradationLadder(settings)
+
+    def record_execution_fault(self, now: float, kind: str) -> None:
+        """Note one execution fault (failed action, host crash, ...).
+
+        Feeds the degradation ladder; repeated faults within its window
+        push the search down one rung.  No-op without resilience.
+        """
+        if self.resilience is None:
+            return
+        self.stats.faults_observed += 1
+        new_level = self.resilience.record_fault(now, kind)
+        if new_level is not None:
+            self._note_degraded(now, new_level, kind)
+
+    def charge_fault_cost(self, wasted_utility: float) -> None:
+        """Charge the Eq. 3 utility wasted by an aborted plan.
+
+        The debt tightens the next decision's pessimistic budget ``UH``
+        (paper §IV-B): the self-aware search prunes sooner, preferring
+        cheap plans while the cluster is misbehaving.  Consumed by the
+        next search.  No-op without resilience.
+        """
+        if self.resilience is None:
+            return
+        self._fault_debt += max(0.0, wasted_utility)
+
+    def request_replan(self, reason: str = "") -> None:
+        """Force a decision at the next sample even without an escape.
+
+        Called after an aborted plan: the bands may not have moved, but
+        the cluster is not in the configuration the last decision
+        assumed.  No-op without resilience.
+        """
+        if self.resilience is None:
+            return
+        self._replan_requested = True
+        self.stats.replans += 1
+        if _telemetry.enabled:
+            _telemetry.registry.counter("resilience.replans").inc()
+            _telemetry.tracer.event(
+                "resilience.replan", controller=self.name, reason=reason
+            )
+
+    def _note_degraded(self, now: float, level: str, kind: str) -> None:
+        self.stats.degradations += 1
+        if _telemetry.enabled:
+            _telemetry.registry.counter("resilience.degradations").inc()
+            _telemetry.tracer.event(
+                "resilience.degraded",
+                controller=self.name,
+                level=level,
+                cause=kind,
+                t_sim=now,
+            )
+
+    def _search_settings_for_level(self, level: str):
+        """Per-run settings override for the current ladder rung."""
+        if level != "pruned":
+            return None
+        assert self.resilience is not None
+        return dataclasses.replace(
+            self.search.settings,
+            self_aware=True,
+            max_expansions=self.resilience.settings.pruned_max_expansions,
+        )
 
     def record_interval_utility(self, utility: float) -> None:
         """Feed the measured utility of one monitoring interval.
@@ -158,15 +248,49 @@ class MistralController:
         escape = self.monitor.observe(now, workloads)
         planning_workloads = self._planning_workloads(dict(workloads))
         self._last_workloads = dict(workloads)
+        level = "normal"
+        if self.resilience is not None:
+            recovered = self.resilience.observe(now)
+            if recovered is not None:
+                self.stats.recoveries += 1
+                if _telemetry.enabled:
+                    _telemetry.registry.counter("resilience.recoveries").inc()
+                    _telemetry.tracer.event(
+                        "resilience.recovered",
+                        controller=self.name,
+                        level=recovered,
+                        t_sim=now,
+                    )
+            level = self.resilience.level
+            if escape is None and self._replan_requested and not busy:
+                escape = self.monitor.force_escape(now, workloads)
         if escape is None:
             return None
+        self._replan_requested = False
         self.stats.escapes += 1
         if busy:
             self.stats.skipped_busy += 1
             return None
+        if level == "noop":
+            # Bottom of the ladder: keep the configuration until the
+            # cluster quiets down; the escape still re-centered bands.
+            self.stats.noop_decisions += 1
+            if _telemetry.enabled:
+                _telemetry.registry.counter("resilience.noop_decisions").inc()
+                _telemetry.tracer.event(
+                    "resilience.noop_decision",
+                    controller=self.name,
+                    t_sim=now,
+                )
+            return None
 
         window = max(escape.estimated_next_interval, self.min_control_window)
         expected = self.expected_utility(window)
+        if expected is not None and self._fault_debt > 0.0:
+            # Charge the utility wasted by aborted plans against the
+            # pessimistic budget, consumed by this one decision.
+            expected -= self._fault_debt
+            self._fault_debt = 0.0
         expected_rate = (
             expected / window if expected is not None else None
         )
@@ -184,6 +308,7 @@ class MistralController:
                 control_window=window,
                 expected_utility=expected,
                 expected_rate=expected_rate,
+                settings_override=self._search_settings_for_level(level),
             )
             decision_span.set(
                 actions=[type(a).__name__ for a in outcome.actions],
@@ -204,6 +329,15 @@ class MistralController:
         if outcome.is_null:
             self.stats.null_decisions += 1
         self.stats.actions_issued += len(outcome.actions)
+        if self.resilience is not None:
+            deadline = self.resilience.settings.deadline_fraction * window
+            if outcome.decision_seconds > deadline:
+                # The decision overran its share of the control window;
+                # escalate immediately — the plan may already be stale.
+                self.stats.faults_observed += 1
+                new_level = self.resilience.record_fault(now, "deadline")
+                if new_level is not None:
+                    self._note_degraded(now, new_level, "deadline")
         return Decision(
             time=now,
             controller=self.name,

@@ -66,6 +66,25 @@ class ControllerHierarchy:
             workloads, measured_response_times, configuration
         )
 
+    def enable_resilience(self, settings=None) -> None:
+        """Attach the degradation ladder to every controller."""
+        for controller in self.controllers():
+            controller.enable_resilience(settings)
+
+    def record_execution_fault(self, now: float, kind: str) -> None:
+        """Broadcast one execution fault to every controller's ladder."""
+        for controller in self.controllers():
+            controller.record_execution_fault(now, kind)
+
+    def charge_fault_cost(self, wasted_utility: float) -> None:
+        """Charge an aborted plan's wasted utility (2nd level only —
+        it owns the global Eq. 3 budget)."""
+        self.level2.charge_fault_cost(wasted_utility)
+
+    def request_replan(self, reason: str = "") -> None:
+        """Ask the 2nd-level controller to re-plan at the next sample."""
+        self.level2.request_replan(reason)
+
     def on_sample(
         self,
         now: float,

@@ -547,15 +547,21 @@ class AdaptationSearch:
         control_window: float,
         expected_utility: Optional[float] = None,
         expected_rate: Optional[float] = None,
+        settings_override: Optional[SearchSettings] = None,
     ) -> SearchOutcome:
         """Find the action sequence maximizing Eq. 3 over the window.
 
         ``expected_utility``/``expected_rate`` seed the self-aware
         budget ``UH`` (the paper uses the lowest of recent utilities);
         they default to the ideal utility over the window.
+        ``settings_override`` swaps the search settings for this one run
+        (the resilience ladder's degraded rung forces a pruned
+        self-aware search with a reduced expansion budget).
         """
         wall_start = time.perf_counter()
-        settings = self.settings
+        settings = (
+            self.settings if settings_override is None else settings_override
+        )
         incremental = settings.incremental
         wkey = self.estimator.workload_key(workloads)
         ideal = self.perf_pwr.optimize(workloads)
@@ -1076,7 +1082,7 @@ class AdaptationSearch:
             expansions=expansions,
             decision_seconds=decision_seconds,
             pruning_activated=pruning,
-            optimal=expansions < self.settings.max_expansions,
+            optimal=expansions < settings.max_expansions,
         )
 
     # -- action enumeration ------------------------------------------------------

@@ -1,0 +1,131 @@
+"""Search degradation ladder: normal → pruned → no-op.
+
+Faults cost wall-clock time — retries back off, rollbacks undo work,
+re-planning repeats searches — and Mistral's decisions are only useful
+if they land within the stability interval the ARMA filter predicted.
+When faults pile up, the :class:`DegradationLadder` trades decision
+quality for decision latency, one rung at a time:
+
+``normal``
+    the controller's configured search (possibly the naive
+    full-width A*);
+``pruned``
+    the Self-Aware pruned search with a reduced expansion budget
+    (fast, still adapts);
+``noop``
+    no search at all — the controller keeps the current configuration
+    until the cluster quiets down.
+
+The ladder escalates when ``escalate_after`` faults land within a
+sliding ``fault_window_seconds`` window, or immediately when a decision
+overruns ``deadline_fraction`` of its control window.  It recovers one
+rung at a time after ``recover_after_seconds`` without a fault.
+
+Example::
+
+    >>> ladder = DegradationLadder(
+    ...     DegradationSettings(
+    ...         fault_window_seconds=600.0,
+    ...         escalate_after=2,
+    ...         recover_after_seconds=1200.0,
+    ...     )
+    ... )
+    >>> ladder.level
+    'normal'
+    >>> ladder.record_fault(10.0, "action_failure") is None
+    True
+    >>> ladder.record_fault(20.0, "action_failure")
+    'pruned'
+    >>> ladder.observe(20.0 + 1200.0)
+    'normal'
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+
+#: The rungs, mildest first.
+LEVELS: Tuple[str, ...] = ("normal", "pruned", "noop")
+
+
+@dataclass(frozen=True)
+class DegradationSettings:
+    """Knobs of the degradation ladder."""
+
+    #: Sliding window over which faults are counted.
+    fault_window_seconds: float = 900.0
+    #: Escalate one rung once this many faults land within the window.
+    escalate_after: int = 3
+    #: Recover one rung after this long without any fault.
+    recover_after_seconds: float = 1800.0
+    #: Expansion budget of the ``pruned`` rung's Self-Aware search.
+    pruned_max_expansions: int = 250
+    #: A decision consuming more than this fraction of its control
+    #: window escalates immediately (deadline overrun).
+    deadline_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fault_window_seconds <= 0:
+            raise ValueError("fault_window_seconds must be positive")
+        if self.escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
+        if self.recover_after_seconds <= 0:
+            raise ValueError("recover_after_seconds must be positive")
+        if self.pruned_max_expansions < 1:
+            raise ValueError("pruned_max_expansions must be >= 1")
+        if not 0.0 < self.deadline_fraction <= 1.0:
+            raise ValueError("deadline_fraction must be in (0, 1]")
+
+
+class DegradationLadder:
+    """Tracks the current rung from the fault history."""
+
+    def __init__(self, settings: Optional[DegradationSettings] = None) -> None:
+        self.settings = settings or DegradationSettings()
+        self._level_index = 0
+        self._faults: Deque[float] = deque()
+        self._last_fault_time: Optional[float] = None
+
+    @property
+    def level(self) -> str:
+        """The current rung: ``normal``, ``pruned``, or ``noop``."""
+        return LEVELS[self._level_index]
+
+    def record_fault(self, now: float, kind: str) -> Optional[str]:
+        """Note one fault at time ``now``; returns the new rung if the
+        ladder escalated, else ``None``.  ``kind`` is informational
+        (``"action_failure"``, ``"deadline"``, ...); deadline overruns
+        escalate unconditionally."""
+        self._last_fault_time = now
+        if kind == "deadline":
+            self._faults.clear()
+            return self._escalate()
+        self._faults.append(now)
+        cutoff = now - self.settings.fault_window_seconds
+        while self._faults and self._faults[0] < cutoff:
+            self._faults.popleft()
+        if len(self._faults) >= self.settings.escalate_after:
+            self._faults.clear()
+            return self._escalate()
+        return None
+
+    def observe(self, now: float) -> Optional[str]:
+        """Advance time; returns the new rung if the ladder recovered
+        one level, else ``None``."""
+        if self._level_index == 0 or self._last_fault_time is None:
+            return None
+        if now - self._last_fault_time < self.settings.recover_after_seconds:
+            return None
+        self._level_index -= 1
+        # Recovering further requires another quiet period from now.
+        self._last_fault_time = now
+        return self.level
+
+    def _escalate(self) -> Optional[str]:
+        if self._level_index >= len(LEVELS) - 1:
+            return None
+        self._level_index += 1
+        return self.level

@@ -151,6 +151,8 @@ class SimulationEngine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if _telemetry.enabled:
+                    _telemetry.registry.counter("sim.events.cancelled").inc()
                 continue
             self._now = event.time
             if _telemetry.enabled:

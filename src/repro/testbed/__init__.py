@@ -8,6 +8,7 @@ from repro.testbed.scenarios import (
     build_perf_cost,
     build_perf_pwr,
     build_pwr_cost,
+    demo_fault_config,
     initial_configuration,
     level1_host_groups,
     make_testbed,
@@ -25,6 +26,7 @@ __all__ = [
     "build_perf_cost",
     "build_perf_pwr",
     "build_pwr_cost",
+    "demo_fault_config",
     "initial_configuration",
     "level1_host_groups",
     "make_testbed",

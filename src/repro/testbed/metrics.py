@@ -114,6 +114,11 @@ class RunMetrics:
     search_power_watts: TimeSeries = field(
         default_factory=lambda: TimeSeries("search-power")
     )
+    #: Injected-fault tally (``repro.faults.FaultStats``) when the run
+    #: was fault-injected; ``None`` for ordinary runs.
+    fault_stats: Optional[object] = None
+    #: The configuration deployed when the horizon ended.
+    final_configuration: Optional[object] = None
 
     def cumulative_utility(self) -> float:
         """Total utility over the run (the Fig. 9 headline number)."""

@@ -29,6 +29,7 @@ from repro.core.search import (
     SearchSettings,
 )
 from repro.core.utility import UtilityModel
+from repro.faults import FaultConfig, HostCrash, ScriptedActionFault
 from repro.perfmodel.solver import LqnSolver
 from repro.testbed.testbed import Testbed, TestbedSettings
 from repro.workload.monitor import WorkloadMonitor
@@ -70,6 +71,26 @@ def make_testbed(
         host_ids,
         seed=seed,
         settings=settings,
+    )
+
+
+def demo_fault_config(
+    seed: int = 0, crash_time: float = 3600.0, crash_host: str = "host-3"
+) -> FaultConfig:
+    """The canonical fault scenario (docs/OPERATIONS.md walkthrough).
+
+    Deterministically fails the first two migration attempts of the run
+    (exercising retry + rollback during the controllers' scale-out) and
+    crashes one host an hour in, stranding whatever it serves.  No
+    random faults, so the run is fully scripted regardless of seed.
+    """
+    return FaultConfig(
+        seed=seed,
+        scripted=(
+            ScriptedActionFault(kind="migrate", occurrence=0),
+            ScriptedActionFault(kind="migrate", occurrence=1),
+        ),
+        host_crashes=(HostCrash(time=crash_time, host_id=crash_host),),
     )
 
 

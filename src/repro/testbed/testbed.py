@@ -28,6 +28,12 @@ from repro.core.controller import Decision
 from repro.core.estimator import UtilityEstimator
 from repro.core.utility import UtilityModel, UtilityParameters
 from repro.costmodel.manager import CostManager
+from repro.faults import (
+    DegradationSettings,
+    FaultConfig,
+    FaultInjector,
+    RecoveryPolicy,
+)
 from repro.costmodel.measurement import MeasurementCampaign, run_campaign
 from repro.perfmodel.calibration import calibrate_parameters
 from repro.perfmodel.lqn import LqnParameters, parameters_for
@@ -256,6 +262,9 @@ class Testbed:
         initial_configuration: Configuration,
         strategy: str,
         horizon: Optional[float] = None,
+        faults: Optional[FaultConfig] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        resilience: Optional[DegradationSettings] = None,
     ) -> RunMetrics:
         """Run one strategy over the horizon and collect metrics.
 
@@ -263,9 +272,26 @@ class Testbed:
         ``on_sample(now, workloads, configuration, busy)`` returning a
         decision, a list of decisions, or None, plus
         ``record_interval_utility(value)``.
+
+        ``faults`` attaches a seeded :class:`FaultInjector` to the run:
+        scripted host crashes are scheduled, monitoring samples may be
+        dropped or staled before reaching the controller, plans execute
+        under the ``recovery`` policy (default :class:`RecoveryPolicy`)
+        with retries and rollback, and resilience-capable controllers
+        get the degradation ladder (tuned by ``resilience``) plus
+        fault-cost charging and forced re-planning.  Without ``faults``
+        the run is bit-identical to the pre-resilience testbed.
         """
         settings = self.settings
         span = horizon if horizon is not None else settings.horizon
+        injector = FaultInjector(faults) if faults is not None else None
+        recovery_policy: Optional[RecoveryPolicy] = None
+        if injector is not None:
+            recovery_policy = (
+                recovery if recovery is not None else RecoveryPolicy()
+            )
+            if hasattr(controller, "enable_resilience"):
+                controller.enable_resilience(resilience)
         engine = SimulationEngine()
         run_streams = self.streams.fork(f"run:{strategy}")
         demand_rng = run_streams.stream("demand-noise")
@@ -321,6 +347,81 @@ class Testbed:
                 if start <= now < end
             )
 
+        def on_execution_fault(kind: str, detail: str) -> None:
+            if hasattr(controller, "record_execution_fault"):
+                controller.record_execution_fault(engine.now, kind)
+
+        def wasted_plan_utility(execution) -> float:
+            """Eq. 3 utility an aborted plan burned for nothing.
+
+            Every attempt of an aborted plan (forward and rollback) paid
+            its transient perf/power penalty without buying a lasting
+            configuration change; price each record's elapsed window at
+            the gap between the steady utility rate and the transient
+            rate while it ran.
+            """
+            workloads = self.workloads_at(engine.now)
+            try:
+                base = self.estimator.estimate(
+                    cluster.configuration, workloads
+                )
+            except Exception:  # noqa: BLE001 - best-effort accounting
+                return 0.0
+            wasted = 0.0
+            for record in execution.records:
+                elapsed = max(0.0, record.end - record.start)
+                if elapsed <= 0.0:
+                    continue
+                perf_rate, power_rate = self.estimator.transient_rates(
+                    base,
+                    workloads,
+                    record.spec.rt_delta,
+                    record.spec.total_power_delta(),
+                )
+                wasted += elapsed * max(
+                    0.0, base.total_rate - (perf_rate + power_rate)
+                )
+            return wasted
+
+        def on_plan_complete(execution) -> None:
+            if injector is None or execution.aborted is None:
+                return
+            wasted = wasted_plan_utility(execution)
+            if _telemetry.enabled:
+                _telemetry.tracer.event(
+                    "resilience.plan_waste",
+                    wasted_utility=wasted,
+                    reason=execution.aborted,
+                    rolled_back=execution.rolled_back,
+                    t_sim=engine.now,
+                )
+            if hasattr(controller, "charge_fault_cost"):
+                controller.charge_fault_cost(wasted)
+            if hasattr(controller, "request_replan"):
+                controller.request_replan(execution.aborted)
+
+        if injector is not None:
+            for crash in injector.config.host_crashes:
+                if crash.host_id not in cluster.hosts:
+                    raise ValueError(
+                        f"scripted crash names unknown host {crash.host_id!r}"
+                    )
+
+                def do_crash(event=crash) -> None:
+                    cluster.crash_host(event.host_id, fault_injector=injector)
+                    if hasattr(controller, "record_execution_fault"):
+                        controller.record_execution_fault(
+                            engine.now, "host_crash"
+                        )
+                    if hasattr(controller, "request_replan"):
+                        controller.request_replan(
+                            f"host crash: {event.host_id}"
+                        )
+
+                engine.schedule_at(
+                    crash.time, do_crash, label=f"crash:{crash.host_id}"
+                )
+
         def sample() -> None:
             now = engine.now
             workloads = self.workloads_at(now)
@@ -352,6 +453,15 @@ class Testbed:
                         + settings.closed_loop_think_time * (rho - 1.0)
                     )
                     response = min(response, bound)
+                if not np.isfinite(response):
+                    # A tier with zero replicas (host crash stranded
+                    # them all) solves to an infinite open-model RT;
+                    # the closed session population still bounds what a
+                    # client measures.  Unreachable without faults.
+                    response = (
+                        settings.overload_base_multiple * target
+                        + settings.closed_loop_think_time
+                    )
                 measured_rt[app_name] = max(
                     0.0,
                     response
@@ -382,6 +492,21 @@ class Testbed:
             metrics.hosts_powered.append(
                 now, len(configuration.powered_hosts)
             )
+            observed = workloads
+            if injector is not None:
+                observed, sample_fault = injector.perturb_sample(workloads)
+                if sample_fault is not None:
+                    if _telemetry.enabled:
+                        _telemetry.registry.counter(
+                            f"faults.samples_{sample_fault}"
+                        ).inc()
+                        _telemetry.tracer.event(
+                            "fault.sample", mode=sample_fault, t_sim=now
+                        )
+                    if observed is None:
+                        # Dropped: this interval never reaches the
+                        # controller's monitor/bands/ARMA filter.
+                        return
             controller.record_interval_utility(increment)
             if not cluster.is_adapting() and hasattr(
                 controller, "record_measurements"
@@ -390,12 +515,12 @@ class Testbed:
                 # controllers (skipped mid-adaptation: transient deltas
                 # are not model bias).
                 controller.record_measurements(
-                    workloads, measured_rt, configuration
+                    observed, measured_rt, configuration
                 )
 
             decisions = _normalize(
                 controller.on_sample(
-                    now, workloads, configuration, busy=cluster.is_adapting()
+                    now, observed, configuration, busy=cluster.is_adapting()
                 )
             )
             if not decisions or cluster.is_adapting():
@@ -412,7 +537,14 @@ class Testbed:
                 metrics.search_power_watts.append(now, decision.search_watts)
             if not actions:
                 return
-            handle = cluster.execute_plan(actions, start_delay=delay)
+            handle = cluster.execute_plan(
+                actions,
+                start_delay=delay,
+                on_complete=on_plan_complete,
+                fault_injector=injector,
+                recovery=recovery_policy,
+                on_fault=on_execution_fault,
+            )
             pending.append((decisions[0], handle))
 
         engine.schedule_periodic(
@@ -434,15 +566,23 @@ class Testbed:
 
         for decision, handle in pending:
             for record in handle.records:
+                description = str(record.action)
+                if record.phase != "plan":
+                    description += f" [{record.phase}]"
+                if record.outcome != "ok":
+                    description += f" [{record.outcome}]"
                 metrics.actions.append(
                     ActionRecord(
                         start=record.start,
                         end=record.end,
                         controller=decision.controller,
-                        description=str(record.action),
+                        description=description,
                     )
                 )
         metrics.actions.sort(key=lambda record: record.start)
+        metrics.final_configuration = cluster.configuration
+        if injector is not None:
+            metrics.fault_stats = injector.stats
         return metrics
 
 

@@ -115,6 +115,35 @@ class WorkloadMonitor:
         self.escapes.append(event)
         return event
 
+    def force_escape(
+        self, now: float, workloads: Mapping[str, float]
+    ) -> BandEscape:
+        """Re-center the bands and report an escape unconditionally.
+
+        Used by the resilience layer to force re-planning after an
+        aborted adaptation plan: the workloads may still sit inside
+        their bands, but the cluster is no longer in the configuration
+        the last decision assumed.  The interrupted interval is *not*
+        fed to the ARMA estimator — the escape is synthetic, not a
+        workload shift, and would bias the stability statistics.
+        """
+        tracked = (
+            {app: workloads[app] for app in self._app_names}
+            if self._app_names is not None
+            else dict(workloads)
+        )
+        self._centers = dict(tracked)
+        self._band_start = now
+        event = BandEscape(
+            time=now,
+            escaped_apps=tuple(sorted(tracked)),
+            measured_interval=0.0,
+            estimated_next_interval=self.estimator.estimate,
+            workloads=dict(tracked),
+        )
+        self.escapes.append(event)
+        return event
+
     def measured_intervals(self) -> list[float]:
         """All positive measured stability intervals so far."""
         return [

@@ -28,6 +28,7 @@ def test_examples_exist_and_import():
         "flash_crowd",
         "hierarchical_datacenter",
         "custom_application",
+        "fault_injection",
     ):
         module = load_example(name)
         assert hasattr(module, "main")
