@@ -64,8 +64,14 @@ def bench_search(
     incremental: bool,
     runs: int = 5,
     window: float = 300.0,
+    parallel_workers: Optional[int] = None,
 ) -> dict:
-    """Mean/min time of one adaptation search at one system size."""
+    """Mean/min time of one adaptation search at one system size.
+
+    ``parallel_workers`` routes expansion rounds through the batched
+    evaluation stage (DESIGN.md §11); outcomes are bit-identical to
+    the serial path, so the column measures pure evaluation speed.
+    """
     testbed = make_testbed(app_count, seed=0)
     settings_kwargs = {"self_aware": self_aware}
     if not self_aware:
@@ -75,6 +81,12 @@ def bench_search(
         settings_kwargs["max_expansions"] = 2500
     if "incremental" in _SETTINGS_FIELDS:
         settings_kwargs["incremental"] = incremental
+    if parallel_workers is not None:
+        if "parallel_workers" not in _SETTINGS_FIELDS:
+            raise ValueError(
+                "this checkout predates the parallel evaluation stage"
+            )
+        settings_kwargs["parallel_workers"] = parallel_workers
     search = AdaptationSearch(
         testbed.applications,
         testbed.catalog,
@@ -102,11 +114,14 @@ def bench_search(
         wall.append(time.perf_counter() - wall_0)
         expansions += outcome.expansions
         evaluations += testbed.estimator.evaluations - eval_before
+    if hasattr(search, "close_executor"):
+        search.close_executor()
     return {
         "app_count": app_count,
         "host_count": len(testbed.host_ids),
         "self_aware": self_aware,
         "incremental": incremental,
+        "parallel_workers": parallel_workers,
         "runs": runs,
         "mean_search_seconds": sum(wall) / runs,
         "min_search_seconds": min(wall),
@@ -252,12 +267,16 @@ def run_suite(
     sizes: tuple[int, ...] = SYSTEM_SIZES,
     runs: int = 5,
     incremental_only: bool = False,
+    workers: Optional[int] = None,
 ) -> dict:
     """The full benchmark payload: searches, solver throughput, and an
     instrumented metrics capture.
 
     ``incremental_only`` skips the (slower) full-evaluation search
     variants — useful for a quick look at the current numbers.
+    ``workers`` adds a ``self_aware_parallel`` column per scenario —
+    measured back to back with the serial ``self_aware`` column so the
+    two are comparable within one run of the suite.
     """
     searches: dict[str, dict] = {}
     for app_count in sizes:
@@ -267,6 +286,14 @@ def run_suite(
             scenario[label] = bench_search(
                 app_count, self_aware, incremental=True, runs=runs
             )
+            if self_aware and workers is not None:
+                scenario["self_aware_parallel"] = bench_search(
+                    app_count,
+                    self_aware,
+                    incremental=True,
+                    runs=runs,
+                    parallel_workers=workers,
+                )
             if not incremental_only:
                 scenario[f"{label}_full_eval"] = bench_search(
                     app_count, self_aware, incremental=False, runs=runs
@@ -280,6 +307,26 @@ def run_suite(
         "solver": solver,
         "metrics": capture_metrics(app_count=min(sizes)),
     }
+
+
+def summarize_parallel(
+    search: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> dict:
+    """Serial / parallel mean-search-seconds ratio per scenario.
+
+    Both columns come from the same suite run (same machine state,
+    measured back to back), so the ratio is the parallel evaluation
+    stage's speedup on identical work — the searches themselves are
+    bit-identical.
+    """
+    speedups: dict[str, Optional[float]] = {}
+    for scenario, variants in search.items():
+        serial = variants.get("self_aware", {}).get("mean_search_seconds")
+        parallel = variants.get("self_aware_parallel", {}).get(
+            "mean_search_seconds"
+        )
+        speedups[scenario] = (serial / parallel) if serial and parallel else None
+    return speedups
 
 
 def summarize_speedup(

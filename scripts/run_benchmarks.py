@@ -6,6 +6,7 @@ Usage::
     python scripts/run_benchmarks.py                  # measure, write JSON
     python scripts/run_benchmarks.py --runs 3 --sizes 2 3
     python scripts/run_benchmarks.py --baseline-src /path/to/old/src
+    python scripts/run_benchmarks.py --workers 4 --sizes 2 3 4 6
 
 The output records the current tree's numbers next to the pre-change
 baseline (either the numbers recorded in
@@ -44,7 +45,7 @@ def _bootstrap(src: Path) -> None:
 
 
 def _measure(src: Path, sizes: tuple[int, ...], runs: int,
-             incremental_only: bool) -> dict:
+             incremental_only: bool, workers: int | None = None) -> dict:
     _bootstrap(src)
     for name in [
         name for name in sys.modules if name.startswith("search_harness")
@@ -52,9 +53,28 @@ def _measure(src: Path, sizes: tuple[int, ...], runs: int,
         del sys.modules[name]
     import search_harness
 
+    kwargs = {}
+    if workers is not None:
+        # Baseline checkouts predate the parallel column; only the
+        # current tree is asked for it.
+        kwargs["workers"] = workers
     return search_harness.run_suite(
-        sizes=sizes, runs=runs, incremental_only=incremental_only
+        sizes=sizes, runs=runs, incremental_only=incremental_only, **kwargs
     )
+
+
+def _git_dirty() -> str:
+    """Porcelain status of the tree, "" when clean or git is absent."""
+    try:
+        return subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return ""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,14 +107,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the search variants with the incremental engine off",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="add a self_aware_parallel column measured with this many "
+        "parallel evaluation workers (bit-identical outcomes; the "
+        "column times the batched evaluation stage)",
+    )
+    parser.add_argument(
+        "--allow-dirty",
+        action="store_true",
+        help="permit recording from a tree with uncommitted changes "
+        "(the commit stamp gains a -dirty suffix)",
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
     sizes = tuple(args.sizes)
+
+    dirty = _git_dirty()
+    if dirty and not args.allow_dirty:
+        print(
+            "refusing to record benchmarks from a dirty tree — the "
+            "commit stamp would not identify what was measured.\n"
+            "Commit or stash first, or pass --allow-dirty to record "
+            "with a -dirty stamp.\nUncommitted changes:",
+            file=sys.stderr,
+        )
+        print(dirty, file=sys.stderr)
+        return 1
 
     print(f"measuring current tree ({REPO_ROOT / 'src'}) ...", flush=True)
     current = _measure(
-        REPO_ROOT / "src", sizes, args.runs, args.skip_full_eval
+        REPO_ROOT / "src", sizes, args.runs, args.skip_full_eval,
+        workers=args.workers,
     )
 
     if args.baseline_src is not None:
@@ -121,13 +170,6 @@ def main(argv: list[str] | None = None) -> int:
             text=True,
             check=True,
         ).stdout.strip()
-        dirty = subprocess.run(
-            ["git", "status", "--porcelain"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout.strip()
         if dirty:
             commit += "-dirty"
     except (OSError, subprocess.CalledProcessError):
@@ -142,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
             "machine": platform.machine(),
             "runs_per_scenario": args.runs,
             "sizes": list(sizes),
+            "parallel_workers": args.workers,
         },
         "baseline": baseline,
         "current": current,
@@ -153,6 +196,10 @@ def main(argv: list[str] | None = None) -> int:
             current["search"], baseline["search"]
         ),
     }
+    if args.workers is not None:
+        payload["parallel_speedup"] = search_harness.summarize_parallel(
+            current["search"]
+        )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     for scenario, entry in payload["speedup_vs_baseline"].items():
@@ -161,6 +208,10 @@ def main(argv: list[str] | None = None) -> int:
             for label, ratio in entry.items()
         }
         print(f"  {scenario}: {printable}")
+    if args.workers is not None:
+        print(f"parallel evaluation speedup (--workers {args.workers}):")
+        for scenario, ratio in payload["parallel_speedup"].items():
+            print(f"  {scenario}: {f'{ratio:.2f}x' if ratio else 'n/a'}")
     return 0
 
 

@@ -195,6 +195,24 @@ class Configuration:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Configuration is immutable")
 
+    def __getstate__(self) -> tuple:
+        """Pickle only the defining state (placement items + powered
+        set); derived caches rebuild lazily on the other side.  Needed
+        because slots + the immutability guard break the default
+        protocol, and configurations cross the process-pool boundary of
+        the parallel evaluation stage."""
+        return (self._items, self._powered)
+
+    def __setstate__(self, state: tuple) -> None:
+        items, powered = state
+        object.__setattr__(self, "_placements", None)
+        object.__setattr__(self, "_powered", powered)
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_keys", None)
+        object.__setattr__(self, "_by_host", None)
+        object.__setattr__(self, "_used", None)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Configuration):
             return NotImplemented

@@ -109,6 +109,22 @@ class MistralController:
         #: next decision's expected-utility budget ``UH``.
         self._fault_debt: float = 0.0
         self._replan_requested: bool = False
+        #: Simulation time of the latest sample — executor failures
+        #: surface asynchronously from inside the search, which has no
+        #: notion of simulation time, so the controller timestamps them
+        #: with the sample it was processing.
+        self._last_now: float = 0.0
+        search.on_executor_failure = self._on_executor_failure
+
+    def _on_executor_failure(self, kind: str) -> None:
+        """A worker pool died mid-search (the search already fell back
+        to serial execution); feed it to the degradation ladder like
+        any other execution fault."""
+        self.record_execution_fault(self._last_now, kind)
+
+    def shutdown_parallel(self) -> None:
+        """Release the search's worker pool, if one is running."""
+        self.search.close_executor()
 
     # -- resilience -------------------------------------------------------
 
@@ -245,6 +261,7 @@ class MistralController:
         stale).
         """
         self.stats.invocations += 1
+        self._last_now = now
         escape = self.monitor.observe(now, workloads)
         planning_workloads = self._planning_workloads(dict(workloads))
         self._last_workloads = dict(workloads)

@@ -122,6 +122,23 @@ class UtilityEstimator:
         self._cache.put(cache_key, estimate)
         return estimate
 
+    def has_state(
+        self,
+        configuration: Configuration,
+        workloads: Optional[Mapping[str, float]] = None,
+        key: Optional[tuple] = None,
+    ) -> bool:
+        """Whether a solver state for ``configuration`` is installed.
+
+        When it is, children of ``configuration`` resume the incremental
+        delta path — strictly cheaper than a fresh (even batched) solve
+        — so callers holding a batch of that parent's children can skip
+        pre-solving them.
+        """
+        if key is None:
+            key = self.workload_key(workloads or {})
+        return (configuration, key) in self._states
+
     def prime(
         self,
         configuration: Configuration,
@@ -149,6 +166,62 @@ class UtilityEstimator:
                 cache_key,
                 self._finish(configuration, workloads, state.estimate),
             )
+
+    def estimate_batch(
+        self,
+        configurations: "Sequence[Configuration]",
+        workloads: Mapping[str, float],
+        key: Optional[tuple] = None,
+    ) -> list[SteadyEstimate]:
+        """Estimate many configurations under one workload vector.
+
+        Cache hits are served as usual; the misses are solved together
+        through :meth:`LqnSolver.solve_batch` (one numpy-vectorized
+        pass) and their solver states installed, so descendants of any
+        batch member resume the incremental path.  Every returned
+        estimate is bit-identical to :meth:`estimate` of the same
+        configuration — the batch is a throughput lever, not a model
+        change.
+        """
+        if key is None:
+            key = self.workload_key(workloads)
+        results: list[Optional[SteadyEstimate]] = [None] * len(configurations)
+        misses: list[tuple[int, Configuration]] = []
+        seen: dict[Configuration, int] = {}
+        for index, configuration in enumerate(configurations):
+            cached = self._cache.get((configuration, key))
+            if cached is not None:
+                if _telemetry.enabled:
+                    _telemetry.registry.counter("estimator.memo_hits").inc()
+                results[index] = cached
+            elif configuration in seen:
+                # Duplicate miss within the batch: solved once below.
+                misses.append((index, configuration))
+            else:
+                seen[configuration] = index
+                misses.append((index, configuration))
+        unique = list(seen)
+        if unique:
+            states = self.solver.solve_batch(unique, workloads)
+            if _telemetry.enabled:
+                registry = _telemetry.registry
+                registry.counter("estimator.evaluations").inc(len(unique))
+                registry.counter("estimator.batch_evaluations").inc(
+                    len(unique)
+                )
+            self.evaluations += len(unique)
+            solved: dict[Configuration, SteadyEstimate] = {}
+            for configuration, state in zip(unique, states):
+                estimate = self._finish(
+                    configuration, workloads, state.estimate
+                )
+                cache_key = (configuration, key)
+                self._states.put(cache_key, state)
+                self._cache.put(cache_key, estimate)
+                solved[configuration] = estimate
+            for index, configuration in misses:
+                results[index] = solved[configuration]
+        return results  # type: ignore[return-value]
 
     def estimate_child(
         self,
@@ -234,12 +307,18 @@ class UtilityEstimator:
         workloads: Mapping[str, float],
         rt_delta: Mapping[str, float],
         power_delta_watts: float,
+        memo: Optional[dict] = None,
     ) -> tuple[float, float]:
         """Utility rates while an action with the given deltas executes.
 
         ``base`` is the steady estimate of the configuration the action
         starts from, estimated under the same ``workloads``; the deltas
-        come from the Cost Manager.
+        come from the Cost Manager.  ``memo``, when given, caches the
+        point utility-rate lookups by their *input values* — valid for
+        exactly one (workload vector, utility model) pair, so callers
+        must scope it to one search pass.  A hit returns the identical
+        float the direct call would, keeping memoized and unmemoized
+        paths bit-identical.
         """
         # Apps the action does not touch keep the parent's rate: the
         # delta is 0.0 and ``rt + 0.0 == rt``, so recomputing would
@@ -251,15 +330,34 @@ class UtilityEstimator:
             if delta == 0.0:
                 perf_rate += app_rates[app]
             else:
-                perf_rate += self.utility.perf_utility_rate(
-                    app, rate, base.response_times[app] + delta
-                )
+                rt_after = base.response_times[app] + delta
+                if memo is None:
+                    perf_rate += self.utility.perf_utility_rate(
+                        app, rate, rt_after
+                    )
+                else:
+                    mkey = (app, rt_after)
+                    value = memo.get(mkey)
+                    if value is None:
+                        value = self.utility.perf_utility_rate(
+                            app, rate, rt_after
+                        )
+                        memo[mkey] = value
+                    perf_rate += value
         if power_delta_watts == 0.0:
             power_rate = base.power_rate
         else:
-            power_rate = self.utility.power_utility_rate(
-                base.watts + power_delta_watts
-            )
+            watts_after = base.watts + power_delta_watts
+            if memo is None:
+                power_rate = self.utility.power_utility_rate(watts_after)
+            else:
+                # Empty-string app slot keeps power keys disjoint from
+                # the per-app performance keys above.
+                pkey = ("", watts_after)
+                power_rate = memo.get(pkey)
+                if power_rate is None:
+                    power_rate = self.utility.power_utility_rate(watts_after)
+                    memo[pkey] = power_rate
         return perf_rate, power_rate
 
     def clear_cache(self) -> None:

@@ -28,7 +28,9 @@ import itertools
 import math
 import time
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.apps.application import ApplicationSet
 from repro.core.actions import (
@@ -42,6 +44,7 @@ from repro.core.actions import (
     PowerOffHost,
     PowerOnHost,
     RemoveReplica,
+    RoundDeltaResolver,
 )
 from repro.core.config import (
     Configuration,
@@ -53,6 +56,14 @@ from repro.core.estimator import SteadyEstimate, UtilityEstimator
 from repro.core.perf_pwr import PerfPwrOptimizer, PerfPwrResult
 from repro.core.planner import plan_transition
 from repro.costmodel.manager import CostManager
+from repro.parallel.batch import ScoreContext, column_sums
+from repro.parallel.executors import (
+    EXECUTOR_KINDS,
+    SerialExecutor,
+    make_executor,
+    resolve_executor_kind,
+)
+from repro.parallel.runtime import default_workers
 from repro.telemetry import runtime as _telemetry
 
 #: All action families the search may use.
@@ -142,6 +153,22 @@ class SearchSettings:
     #: scratch per child and exists as the equivalence/benchmark
     #: baseline.
     incremental: bool = True
+    #: Worker count for the parallel evaluation stage (DESIGN.md §11).
+    #: ``None`` consults the ``MISTRAL_PARALLEL_WORKERS`` environment
+    #: variable, and leaves the stage off when that is unset too.  Any
+    #: value >= 1 routes expansion rounds through the batched scoring
+    #: path (vectorized child evaluation + executor-dispatched cost
+    #: prediction); outcomes are bit-identical to the serial path in
+    #: every case.  Requires ``incremental`` (the batch path scores
+    #: children from the per-vertex delta state).
+    parallel_workers: Optional[int] = None
+    #: Executor backing the worker pool: ``"auto"`` (forked processes
+    #: on multi-core hosts, inline otherwise), ``"serial"``,
+    #: ``"thread"``, or ``"process"``.
+    parallel_executor: str = "auto"
+    #: Maximum configurations per batched LQN solve when pre-warming
+    #: candidate steady estimates (``LqnSolver.solve_batch``).
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -150,6 +177,14 @@ class SearchSettings:
             raise ValueError("per_vertex_seconds must be positive")
         if self.max_expansions < 1:
             raise ValueError("max_expansions must be >= 1")
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be >= 1 (or None)")
+        if self.parallel_executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"parallel_executor must be one of {EXECUTOR_KINDS}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 @dataclass
@@ -165,6 +200,13 @@ class SearchOutcome:
     wall_seconds: float
     pruning_activated: bool
     optimal: bool
+    #: Wall/CPU seconds spent inside executor dispatch (0.0 when the
+    #: parallel stage is off).  Counted *inside* ``wall_seconds`` —
+    #: pool overhead is part of the cost of deciding, never hidden —
+    #: and excluded from the bit-identity contract along with
+    #: ``wall_seconds`` (the only measured, platform-dependent fields).
+    pool_wall_seconds: float = 0.0
+    pool_cpu_seconds: float = 0.0
 
     @property
     def is_null(self) -> bool:
@@ -187,10 +229,23 @@ class _Vertex:
     is_candidate: bool = False
     #: Incremental-mode delta state (None when incremental is off).
     state: "Optional[_VertexState]" = None
+    #: Lazy state for batch-built children: ``(parent_state, delta)``
+    #: materialized into ``state`` only if the vertex is ever expanded
+    #: (most children never are — ~1% of generated vertices get popped).
+    pending: Optional[tuple] = None
     #: Lineage for delta utility estimation: the configuration this
     #: vertex was derived from and the VMs its action changed.
     parent_configuration: Optional[Configuration] = None
     changed_vms: frozenset[str] = frozenset()
+
+
+#: Sentinel distinguishing "no source-host edit" from "source host
+#: emptied" (None) in the single-edit candidacy fast path.
+_ABSENT = object()
+
+#: Bound on the enumeration sublist cache (an AdaptationSearch reused
+#: across many searches would otherwise accumulate stale keys forever).
+_ROUND_ACTION_CACHE_LIMIT = 50_000
 
 
 def _togo_vm_term(
@@ -537,6 +592,84 @@ class AdaptationSearch:
         # enumeration runs once per expansion — reuse instead of
         # re-constructing ~100 dataclass instances each time.
         self._action_cache: dict[tuple, AdaptationAction] = {}
+        # Enumeration sublists keyed by the per-VM facts they depend
+        # on, the sorted order of each powered-host set, and per-tier
+        # replica bounds (static for this search's application model).
+        self._round_action_cache: dict[tuple, list] = {}
+        self._powered_order: dict[frozenset, list] = {}
+        self._tier_limits: dict[tuple[str, str], tuple[int, int]] = {}
+        # Parallel evaluation stage (lazily built, reused across
+        # searches; see DESIGN.md §11).
+        self._executor = None
+        self._executor_key: Optional[tuple] = None
+        self._parallel_failed = False
+        #: Optional callback invoked (with a reason string) when a pool
+        #: executor dies and the search falls back to inline scoring —
+        #: the controller wires this into its resilience ladder.
+        self.on_executor_failure: Optional[Callable[[str], None]] = None
+
+    # -- executor lifecycle ---------------------------------------------------
+
+    def _score_context(self) -> ScoreContext:
+        return ScoreContext(self.catalog, self.limits, self.cost_manager)
+
+    def _ensure_executor(self, settings: SearchSettings, workers: int):
+        """The executor for this (kind, workers) request, cached across
+        searches; once a pool has failed, always the inline fallback."""
+        if self._parallel_failed:
+            if self._executor is None:
+                self._executor = SerialExecutor(self._score_context())
+                self._executor_key = ("serial", 1)
+            return self._executor
+        kind = resolve_executor_kind(settings.parallel_executor, workers)
+        key = (kind, 1 if kind == "serial" else workers)
+        if self._executor is None or self._executor_key != key:
+            self.close_executor()
+            self._executor = make_executor(
+                settings.parallel_executor, workers, self._score_context()
+            )
+            self._executor_key = key
+        return self._executor
+
+    def _demote_executor(self, error: Exception):
+        """Permanent graceful fallback after a pool failure: close the
+        broken executor, pin inline scoring, notify the resilience
+        hook.  The search continues — the batch path is correct with
+        any executor, so a dead pool costs throughput, never a plan."""
+        broken = self._executor
+        self._parallel_failed = True
+        self._executor = SerialExecutor(self._score_context())
+        self._executor_key = ("serial", 1)
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("parallel.executor_failures").inc()
+            registry.counter("parallel.serial_fallbacks").inc()
+            _telemetry.tracer.event(
+                "parallel.executor_failure",
+                error=type(error).__name__,
+                executor=getattr(broken, "kind", "unknown"),
+            )
+        if self.on_executor_failure is not None:
+            try:
+                self.on_executor_failure("executor_failure")
+            except Exception:
+                pass  # resilience hooks must never kill the search
+        if broken is not None:
+            try:
+                broken.close()
+            except Exception:
+                pass  # already-broken pools may refuse to shut down
+        return self._executor
+
+    def close_executor(self) -> None:
+        """Release pool resources (idempotent; pools rebuild on demand)."""
+        if self._executor is not None:
+            try:
+                self._executor.close()
+            except Exception:
+                pass
+            self._executor = None
+            self._executor_key = None
 
     # -- public API -----------------------------------------------------------
 
@@ -563,6 +696,15 @@ class AdaptationSearch:
             self.settings if settings_override is None else settings_override
         )
         incremental = settings.incremental
+        workers = (
+            settings.parallel_workers
+            if settings.parallel_workers is not None
+            else default_workers()
+        )
+        # The batch path scores children from the per-vertex delta
+        # state, so the full (non-incremental) baseline always runs the
+        # legacy loop.
+        parallel_on = workers is not None and incremental
         wkey = self.estimator.workload_key(workloads)
         ideal = self.perf_pwr.optimize(workloads)
         if self.scope_hosts is not None:
@@ -578,6 +720,11 @@ class AdaptationSearch:
         generated = 0
         pruned_away = 0
         candidate_pushes = 0
+        # Measured executor-dispatch cost (wall + CPU); part of
+        # ``wall_seconds``, surfaced separately so parallel overhead is
+        # visible instead of laundered into the speedup.
+        pool_wall = 0.0
+        pool_cpu = 0.0
 
         def complete(
             actions: tuple[AdaptationAction, ...],
@@ -604,6 +751,8 @@ class AdaptationSearch:
                 wall_seconds=time.perf_counter() - wall_start,
                 pruning_activated=pruning_activated,
                 optimal=optimal,
+                pool_wall_seconds=pool_wall,
+                pool_cpu_seconds=pool_cpu,
             )
             if _telemetry.enabled:
                 registry = _telemetry.registry
@@ -624,6 +773,8 @@ class AdaptationSearch:
                     dur=outcome.wall_seconds,
                     self_aware=settings.self_aware,
                     incremental=incremental,
+                    parallel=parallel_on,
+                    pool_seconds=outcome.pool_wall_seconds,
                     expansions=outcome.expansions,
                     children_generated=generated,
                     children_pruned=pruned_away,
@@ -882,6 +1033,460 @@ class AdaptationSearch:
                 finalize(terminal)
                 push(terminal)
 
+        # -- parallel evaluation stage (DESIGN.md §11) ---------------------
+        # Expansion rounds are scored through a pluggable executor and
+        # children are then built from ``[terms, children]`` matrices
+        # reduced column-wise in the serial summation order, so the
+        # children (priorities, tie-breakers, heap behaviour — the whole
+        # outcome) are bit-identical to the legacy per-child loop.
+        executor = None
+        # Point utility-rate lookups memoized by input value; scoped to
+        # this search because they fix (workloads, utility model).
+        util_memo: dict = {}
+        if parallel_on:
+            executor = self._ensure_executor(settings, workers)
+            if _telemetry.enabled:
+                registry = _telemetry.registry
+                registry.counter("parallel.searches").inc()
+                registry.gauge("parallel.workers").set(executor.workers)
+
+        def dispatch(method: str, configuration: Configuration, actions):
+            """One executor round (score or predict), with measured
+            pool cost and permanent inline fallback on pool death."""
+            nonlocal pool_wall, pool_cpu, executor
+            wall_0 = time.perf_counter()
+            cpu_0 = time.process_time()
+            try:
+                try:
+                    return getattr(executor, method)(
+                        configuration, actions, workloads, wkey
+                    )
+                except Exception as error:  # pool died — degrade, retry inline
+                    executor = self._demote_executor(error)
+                    return getattr(executor, method)(
+                        configuration, actions, workloads, wkey
+                    )
+            finally:
+                cpu_dt = time.process_time() - cpu_0
+                wall_dt = time.perf_counter() - wall_0
+                pool_cpu += cpu_dt
+                pool_wall += wall_dt
+                if _telemetry.enabled:
+                    registry = _telemetry.registry
+                    registry.counter("parallel.rounds").inc()
+                    registry.counter("parallel.children_scored").inc(
+                        len(actions)
+                    )
+                    registry.histogram("parallel.batch_children").observe(
+                        len(actions)
+                    )
+                    registry.histogram("parallel.dispatch_seconds").observe(
+                        wall_dt
+                    )
+                    if wall_dt > 0.0:
+                        registry.gauge("parallel.pool_utilization").set(
+                            cpu_dt / (wall_dt * executor.workers)
+                        )
+
+        def vertex_state(vertex: _Vertex) -> _VertexState:
+            """Materialize a batch-built vertex's lazy state on first
+            expansion (identical to the eager serial construction)."""
+            state = vertex.state
+            if state is None and vertex.pending is not None:
+                parent_state, delta = vertex.pending
+                state = basis.child_state(
+                    vertex.parent_configuration, parent_state, delta
+                )
+                vertex.state = state
+                vertex.pending = None
+            return state
+
+        def batch_distances(state: _VertexState, scatters: list) -> np.ndarray:
+            """Per-child distances from ``(vm_id, cap, host)`` scatter
+            facts — bit-identical to ``basis.child_distance`` (same
+            scalar scatter expressions, column sums in list order;
+            ``np.sqrt``/elementwise division are correctly rounded
+            exactly like their ``math`` scalar counterparts)."""
+            total = basis.total
+            index = basis.index
+            weights = basis.weights
+            ideal_caps = basis.ideal_caps
+            ideal_hosts = basis.ideal_hosts
+            cap_m = np.repeat(
+                np.array(state.cap_terms, dtype=np.float64)[:, None],
+                len(scatters),
+                axis=1,
+            )
+            match_m = np.repeat(
+                np.array(state.host_matches, dtype=np.float64)[:, None],
+                len(scatters),
+                axis=1,
+            )
+            for j, scatter in enumerate(scatters):
+                for vm_id, cap, host in scatter:
+                    i = index[vm_id]
+                    cap_m[i, j] = weights[i] * (cap - ideal_caps[i]) ** 2
+                    match_m[i, j] = 1 if host == ideal_hosts[i] else 0
+            cap_sum = column_sums(cap_m)
+            if not total:
+                return np.sqrt(cap_sum)  # placement term is exactly 0.0
+            match_sum = column_sums(match_m)
+            return np.sqrt(cap_sum) + (1.0 - match_sum / total)
+
+        def child_candidate(
+            state: _VertexState,
+            parent_configuration: Configuration,
+            delta: tuple,
+            changed: frozenset,
+        ) -> bool:
+            """The child's candidate verdict in O(|delta|), without
+            building its state: replays ``child_state``'s host-entry
+            arithmetic through an overlay dict over the parent's.
+
+            Quick rejects first: an under-cap VM the action does not
+            touch stays under cap, and a bad host the action's (at
+            most two) touched hosts cannot account for stays bad."""
+            if state.bad_vms and not (state.bad_vms <= changed):
+                return False
+            if state.bad_hosts > 2 * len(delta):
+                return False
+            limits = self.limits
+            bad_hosts = state.bad_hosts
+            bad_vm_count = len(state.bad_vms)
+            hosts = state.hosts
+            memory = basis.memory
+            if len(delta) == 1:
+                # Single-edit fast path (every current action): at most
+                # one source and one destination entry — no overlay,
+                # and ``_host_bad`` unrolled inline (same comparisons).
+                max_cpu = limits.max_total_cpu_cap + 1e-9
+                max_mem = limits.guest_memory_mb
+                max_vms = limits.max_vms_per_host
+                ((vm_id, new),) = delta
+                old = parent_configuration.placement_of(vm_id)
+                src_entry = _ABSENT
+                src = None
+                if old is not None:
+                    src = old.host_id
+                    cpu, mem, vms = hosts.get(src)
+                    was_bad = (
+                        cpu > max_cpu or mem > max_mem or vms > max_vms
+                    )
+                    remaining = vms - 1
+                    if remaining == 0:
+                        src_entry = None
+                        bad_hosts -= was_bad
+                    else:
+                        cpu = round(cpu - old.cpu_cap, 10)
+                        mem -= memory[vm_id]
+                        src_entry = (cpu, mem, remaining)
+                        bad_hosts += (
+                            cpu > max_cpu
+                            or mem > max_mem
+                            or remaining > max_vms
+                        ) - was_bad
+                if new is not None:
+                    dst = new.host_id
+                    entry = (
+                        src_entry if dst == src and src_entry is not _ABSENT
+                        else hosts.get(dst)
+                    )
+                    if entry is not None:
+                        cpu, mem, vms = entry
+                        was_bad = (
+                            cpu > max_cpu or mem > max_mem or vms > max_vms
+                        )
+                        cpu = round(cpu + new.cpu_cap, 10)
+                        mem += memory[vm_id]
+                        vms += 1
+                    else:
+                        was_bad = False
+                        cpu = round(new.cpu_cap, 10)
+                        mem = memory[vm_id]
+                        vms = 1
+                    bad_hosts += (
+                        cpu > max_cpu or mem > max_mem or vms > max_vms
+                    ) - was_bad
+                under_cap = new is not None and (
+                    new.cpu_cap < limits.min_vm_cpu_cap - 1e-9
+                )
+                if under_cap != (vm_id in state.bad_vms):
+                    bad_vm_count += 1 if under_cap else -1
+                return bad_hosts == 0 and bad_vm_count == 0
+            overlay: dict = {}
+
+            def entry_of(host_id):
+                if host_id in overlay:
+                    return overlay[host_id]
+                return hosts.get(host_id)
+
+            for vm_id, new in delta:
+                old = parent_configuration.placement_of(vm_id)
+                if old is not None:
+                    src = old.host_id
+                    entry = entry_of(src)
+                    was_bad = basis._host_bad(*entry)
+                    remaining = entry[2] - 1
+                    if remaining == 0:
+                        overlay[src] = None  # deleted
+                        bad_hosts -= was_bad
+                    else:
+                        entry = (
+                            round(entry[0] - old.cpu_cap, 10),
+                            entry[1] - basis.memory[vm_id],
+                            remaining,
+                        )
+                        overlay[src] = entry
+                        bad_hosts += basis._host_bad(*entry) - was_bad
+                if new is not None:
+                    dst = new.host_id
+                    entry = entry_of(dst)
+                    if entry is not None:
+                        was_bad = basis._host_bad(*entry)
+                        entry = (
+                            round(entry[0] + new.cpu_cap, 10),
+                            entry[1] + basis.memory[vm_id],
+                            entry[2] + 1,
+                        )
+                    else:
+                        was_bad = False
+                        entry = (
+                            round(new.cpu_cap, 10),
+                            basis.memory[vm_id],
+                            1,
+                        )
+                    overlay[dst] = entry
+                    bad_hosts += basis._host_bad(*entry) - was_bad
+                under_cap = new is not None and (
+                    new.cpu_cap < limits.min_vm_cpu_cap - 1e-9
+                )
+                if under_cap != (vm_id in state.bad_vms):
+                    bad_vm_count += 1 if under_cap else -1
+            return bad_hosts == 0 and bad_vm_count == 0
+
+        def build_children_batched(
+            vertex: _Vertex,
+            state: _VertexState,
+            parent_steady: SteadyEstimate,
+            entries: list,
+            distances: Optional[np.ndarray] = None,
+        ) -> list[_Vertex]:
+            """Children for one scored round, in the exact order (and
+            with the exact float values) the serial loop would produce.
+
+            ``entries`` is ``[(order, action, delta, predicted), ...]``.
+            Distance and cost-to-go come from column-wise reductions of
+            per-term matrices; a pruned round passes its ranking
+            ``distances`` (already the same column reductions, over the
+            same scatter values) so only cost-to-go is reduced here.
+            States stay lazy (``pending``) because almost no child is
+            ever expanded; transient utility rates are memoized per
+            round on the predicted (rt_delta, power) values, which is
+            sound because the parent steady estimate is a round
+            constant.
+            """
+            if not entries:
+                return []
+            step = self.limits.cpu_cap_step
+            min_cap = self.limits.min_vm_cpu_cap
+            deltas = [entry[2] for entry in entries]
+            total = basis.total
+            batch = len(entries)
+            index = basis.index
+            togo_m = np.repeat(
+                np.array(state.togo_terms, dtype=np.float64)[:, None],
+                batch,
+                axis=1,
+            )
+            if distances is None:
+                cap_m = np.repeat(
+                    np.array(state.cap_terms, dtype=np.float64)[:, None],
+                    batch,
+                    axis=1,
+                )
+                match_m = np.repeat(
+                    np.array(state.host_matches, dtype=np.float64)[:, None],
+                    batch,
+                    axis=1,
+                )
+                for j, delta in enumerate(deltas):
+                    for vm_id, new in delta:
+                        i = index[vm_id]
+                        cap = new.cpu_cap if new is not None else 0.0
+                        cap_m[i, j] = (
+                            basis.weights[i] * (cap - basis.ideal_caps[i]) ** 2
+                        )
+                        host = new.host_id if new is not None else None
+                        match_m[i, j] = (
+                            1 if host == basis.ideal_hosts[i] else 0
+                        )
+                        togo_m[i, j] = _togo_vm_term(
+                            new,
+                            basis.ideal_placements[i],
+                            basis.tiers[i],
+                            basis.durations,
+                            step,
+                            min_cap,
+                        )
+                cap_sum = column_sums(cap_m)
+                if total:
+                    match_sum = column_sums(match_m)
+                    dist_vec = np.sqrt(cap_sum) + (1.0 - match_sum / total)
+                else:
+                    dist_vec = np.sqrt(cap_sum)
+            else:
+                dist_vec = distances
+                for j, delta in enumerate(deltas):
+                    for vm_id, new in delta:
+                        togo_m[index[vm_id], j] = _togo_vm_term(
+                            new,
+                            basis.ideal_placements[index[vm_id]],
+                            basis.tiers[index[vm_id]],
+                            basis.durations,
+                            step,
+                            min_cap,
+                        )
+            togo_sum = column_sums(togo_m)
+            # Non-power children inherit the parent's powered-host set,
+            # so the power legs of the cost-to-go are round constants —
+            # but float addition is order-sensitive, so they are chained
+            # onto every column in the serial sequence, vectorized.
+            on_dur = basis.durations.get(("power_on", "-"), 90.0)
+            off_dur = basis.durations.get(("power_off", "-"), 30.0)
+            n_on = len(basis.ideal_powered - vertex.configuration.powered_hosts)
+            n_off = len(
+                vertex.configuration.powered_hosts - basis.ideal_powered
+            )
+            togo_vec = togo_sum
+            for _ in range(n_on):
+                togo_vec = togo_vec + on_dur
+            for _ in range(n_off):
+                togo_vec = togo_vec + off_dur
+            remaining_window = max(0.0, window - vertex.elapsed)
+            transient_memo: dict = {}
+            children: list[_Vertex] = []
+            # Hoisted round constants (pure lookups — no float change).
+            parent_config = vertex.configuration
+            parent_actions = vertex.actions
+            parent_accrued = vertex.accrued
+            parent_elapsed = vertex.elapsed
+            config_replace = parent_config.replace
+            config_remove = parent_config.remove
+            transient_of = self.estimator.transient_rates
+            memo_get = transient_memo.get
+            guidance_weight = settings.guidance_weight
+            dist_list = dist_vec.tolist()  # exact float64 values
+            togo_list = togo_vec.tolist()
+            for j, (order, action, delta, predicted) in enumerate(entries):
+                if delta:
+                    if len(delta) == 1:
+                        (vm_id, placement), = delta
+                        changed = frozenset((vm_id,))
+                        new_config = (
+                            config_remove(vm_id)
+                            if placement is None
+                            else config_replace(vm_id, placement)
+                        )
+                    else:
+                        changed = frozenset(vm_id for vm_id, _ in delta)
+                        try:
+                            new_config = action.apply(
+                                parent_config, self.catalog, self.limits
+                            )
+                        except ActionError:
+                            continue
+                    child_state = None
+                    pending = (state, delta)
+                    togo_child = togo_list[j]
+                    is_cand = child_candidate(
+                        state, parent_config, delta, changed
+                    )
+                else:
+                    # Null/host-power actions share the parent's state,
+                    # but their powered set differs — full togo path.
+                    changed = frozenset()
+                    try:
+                        new_config = action.apply(
+                            parent_config, self.catalog, self.limits
+                        )
+                    except ActionError:
+                        continue
+                    child_state = state
+                    pending = None
+                    togo_child = basis.togo_seconds(state, new_config)
+                    is_cand = basis.is_candidate(state)
+                # The executor memo returns one PredictedCost object per
+                # distinct prediction key, so within this round (entries
+                # keep every object alive) id() is a sound memo key.
+                tkey = id(predicted)
+                rates = memo_get(tkey)
+                if rates is None:
+                    rates = transient_of(
+                        parent_steady,
+                        workloads,
+                        predicted.rt_delta,
+                        predicted.power_delta_watts,
+                        memo=util_memo,
+                    )
+                    transient_memo[tkey] = rates
+                perf_rate, power_rate = rates
+                duration = predicted.duration
+                effective = (
+                    duration if duration < remaining_window
+                    else remaining_window
+                )
+                transient_rate = perf_rate + power_rate
+                if ideal_rate < transient_rate:
+                    transient_rate = ideal_rate
+                child = _Vertex(
+                    configuration=new_config,
+                    actions=parent_actions + (action,),
+                    accrued=parent_accrued + effective * transient_rate,
+                    elapsed=parent_elapsed + duration,
+                    distance=dist_list[j],
+                    is_candidate=is_cand,
+                    state=child_state,
+                    pending=pending,
+                    parent_configuration=parent_config,
+                    changed_vms=changed,
+                )
+                child.utility = bound(child)
+                child.priority = (
+                    child.utility
+                    - guidance_weight * togo_child * rate_gap
+                )
+                children.append(child)
+            return children
+
+        def warm_candidates(parent: _Vertex, children: list[_Vertex]) -> None:
+            """Pre-solve candidate children's steady estimates through
+            the batched LQN path before their terminal twins ask one by
+            one (identical values either way — the batch kernel is
+            bit-identical to the per-configuration solver).
+
+            The batch is a backstop, not the default: while the parent's
+            solver state is warm, each child resolves through the
+            incremental delta path, which re-solves only the affected
+            tiers and is strictly cheaper than any full solve — batched
+            or not.  Only when the parent's state is cold (evicted, or
+            first touch under a new workload key) do the children
+            full-solve one by one, and then one vectorized batch beats
+            that serial trickle.
+            """
+            if self.estimator.has_state(parent.configuration, key=wkey):
+                return
+            candidates = [
+                child.configuration
+                for child in children
+                if child.is_candidate
+            ]
+            for start in range(0, len(candidates), settings.batch_size):
+                self.estimator.estimate_batch(
+                    candidates[start : start + settings.batch_size],
+                    workloads,
+                    key=wkey,
+                )
+
         root = _Vertex(
             configuration=current,
             actions=(),
@@ -956,7 +1561,83 @@ class AdaptationSearch:
             parent_steady = steady_of(vertex)
             children: list[_Vertex] = []
             tick = settings.per_vertex_seconds
-            if pruning and len(possible) > 1:
+            if parallel_on:
+                state = vertex_state(vertex)
+                if pruning and len(possible) > 1:
+                    # Pruned round: reachability and ranking use the
+                    # resolver's lightweight scatter facts (no Placement
+                    # or delta-tuple allocation for the ~95% of actions
+                    # the prune discards); only the ranked survivors
+                    # materialize deltas and go through the executor —
+                    # in ranked order, matching the serial build order.
+                    reachable_batch: list[tuple] = []
+                    resolver = RoundDeltaResolver(
+                        vertex.configuration, self.catalog, self.limits
+                    )
+                    scatter_of = resolver.scatter
+                    for order, action in enumerate(possible):
+                        try:
+                            scatter = scatter_of(action)
+                        except ActionError:
+                            continue
+                        reachable_batch.append((order, action, scatter))
+                    tick += (
+                        len(reachable_batch) * settings.per_child_apply_seconds
+                    )
+                    distances = batch_distances(
+                        state, [entry[2] for entry in reachable_batch]
+                    )
+                    # Stable argsort == sort by (distance, position);
+                    # positions are monotone in enumeration order, so
+                    # this ranks exactly like the serial
+                    # ``sort(key=(distance, order))``.
+                    ranked = np.argsort(distances, kind="stable")
+                    keep = max(
+                        1,
+                        math.ceil(
+                            settings.prune_fraction * len(reachable_batch)
+                        ),
+                    )
+                    if len(reachable_batch) > keep:
+                        pruned_away += len(reachable_batch) - keep
+                    survivors = [reachable_batch[k] for k in ranked[:keep]]
+                    predictions = dispatch(
+                        "predict",
+                        vertex.configuration,
+                        [entry[1] for entry in survivors],
+                    )
+                    entries = [
+                        (order, action, resolver.delta(action), predicted)
+                        for (order, action, _), predicted in zip(
+                            survivors, predictions
+                        )
+                    ]
+                    children = build_children_batched(
+                        vertex,
+                        state,
+                        parent_steady,
+                        entries,
+                        distances=distances[ranked[:keep]],
+                    )
+                    tick += len(children) * settings.per_child_eval_seconds
+                else:
+                    scored = dispatch("score", vertex.configuration, possible)
+                    entries = [
+                        (order, action, result[0], result[1])
+                        for order, (action, result) in enumerate(
+                            zip(possible, scored)
+                        )
+                        if result is not None
+                    ]
+                    children = build_children_batched(
+                        vertex, state, parent_steady, entries
+                    )
+                    tick += len(children) * (
+                        settings.per_child_apply_seconds
+                        + settings.per_child_eval_seconds
+                    )
+                warm_candidates(vertex, children)
+            elif pruning and len(possible) > 1:
                 # Pruned expansion: generate configurations cheaply,
                 # keep the 5% closest to the ideal, and only fully
                 # evaluate those — the paper's "decreasing search width
@@ -1101,12 +1782,18 @@ class AdaptationSearch:
         """
         settings = self.settings
         kinds = settings.allowed_kinds
-        step = self.limits.cpu_cap_step
+        limits = self.limits
+        step = limits.cpu_cap_step
         actions: list[AdaptationAction] = []
         cache = self._action_cache
-        powered = sorted(configuration.powered_hosts)
+        powered_set = configuration.powered_hosts
+        powered = self._powered_order.get(powered_set)
+        if powered is None:
+            powered = sorted(powered_set)
+            self._powered_order[powered_set] = powered
         if self.scope_hosts is not None:
             powered = [host for host in powered if host in self.scope_hosts]
+        powered_key = tuple(powered)
 
         def interned(key: tuple, factory, *args) -> AdaptationAction:
             action = cache.get(key)
@@ -1123,30 +1810,64 @@ class AdaptationSearch:
             tier_key = (descriptor.app_name, descriptor.tier_name)
             replica_counts[tier_key] = replica_counts.get(tier_key, 0) + 1
 
+        # A VM's action sublist depends only on the facts in its cache
+        # key, so identical (placement, target, powered) situations —
+        # which recur constantly across a search's expansion rounds —
+        # reuse the interned sublist instead of re-running the checks.
+        vm_cache = self._round_action_cache
+        if len(vm_cache) >= _ROUND_ACTION_CACHE_LIMIT:
+            vm_cache.clear()
+        tier_limits = self._tier_limits
         for vm_id, placement in configuration.placement_items():
             if (
                 self.scope_hosts is not None
                 and placement.host_id not in self.scope_hosts
             ):
                 continue
-            if "increase_cpu" in kinds and (
-                placement.cpu_cap + step <= self.limits.max_total_cpu_cap + 1e-9
-            ):
-                actions.append(
-                    interned(("inc", vm_id), IncreaseCpu, vm_id, step)
-                )
-            if "decrease_cpu" in kinds and (
-                placement.cpu_cap - step >= self.limits.min_vm_cpu_cap - 1e-9
-            ):
-                actions.append(
-                    interned(("dec", vm_id), DecreaseCpu, vm_id, step)
-                )
-            if target_caps is not None:
-                target = target_caps.get(vm_id)
+            target = (
+                target_caps.get(vm_id) if target_caps is not None else None
+            )
+            if "remove_replica" in kinds:
+                descriptor = self.catalog.get(vm_id)
+                tier_key = (descriptor.app_name, descriptor.tier_name)
+                bounds = tier_limits.get(tier_key)
+                if bounds is None:
+                    tier = self.applications.get(descriptor.app_name).tier(
+                        descriptor.tier_name
+                    )
+                    bounds = (tier.min_replicas, tier.max_replicas)
+                    tier_limits[tier_key] = bounds
+                can_remove = replica_counts.get(tier_key, 0) > bounds[0]
+            else:
+                can_remove = False
+            sub_key = (
+                kinds,
+                vm_id,
+                placement.host_id,
+                placement.cpu_cap,
+                target,
+                powered_key,
+                can_remove,
+            )
+            sub = vm_cache.get(sub_key)
+            if sub is None:
+                sub = []
+                if "increase_cpu" in kinds and (
+                    placement.cpu_cap + step <= limits.max_total_cpu_cap + 1e-9
+                ):
+                    sub.append(
+                        interned(("inc", vm_id), IncreaseCpu, vm_id, step)
+                    )
+                if "decrease_cpu" in kinds and (
+                    placement.cpu_cap - step >= limits.min_vm_cpu_cap - 1e-9
+                ):
+                    sub.append(
+                        interned(("dec", vm_id), DecreaseCpu, vm_id, step)
+                    )
                 if target is not None:
                     steps = round((target - placement.cpu_cap) / step)
                     if steps > 1 and "increase_cpu" in kinds:
-                        actions.append(
+                        sub.append(
                             interned(
                                 ("inc", vm_id, steps),
                                 IncreaseCpu,
@@ -1156,7 +1877,7 @@ class AdaptationSearch:
                             )
                         )
                     elif steps < -1 and "decrease_cpu" in kinds:
-                        actions.append(
+                        sub.append(
                             interned(
                                 ("dec", vm_id, -steps),
                                 DecreaseCpu,
@@ -1165,29 +1886,23 @@ class AdaptationSearch:
                                 -steps,
                             )
                         )
-            if "migrate" in kinds:
-                for host_id in powered:
-                    if host_id != placement.host_id:
-                        actions.append(
-                            interned(
-                                ("mig", vm_id, host_id),
-                                MigrateVm,
-                                vm_id,
-                                host_id,
+                if "migrate" in kinds:
+                    for host_id in powered:
+                        if host_id != placement.host_id:
+                            sub.append(
+                                interned(
+                                    ("mig", vm_id, host_id),
+                                    MigrateVm,
+                                    vm_id,
+                                    host_id,
+                                )
                             )
-                        )
-            if "remove_replica" in kinds:
-                descriptor = self.catalog.get(vm_id)
-                tier = self.applications.get(descriptor.app_name).tier(
-                    descriptor.tier_name
-                )
-                count = replica_counts.get(
-                    (descriptor.app_name, descriptor.tier_name), 0
-                )
-                if count > tier.min_replicas:
-                    actions.append(
+                if can_remove:
+                    sub.append(
                         interned(("rem", vm_id), RemoveReplica, vm_id)
                     )
+                vm_cache[sub_key] = sub
+            actions.extend(sub)
 
         if "add_replica" in kinds:
             for app in self.applications:
@@ -1195,29 +1910,51 @@ class AdaptationSearch:
                     count = replica_counts.get((app.name, tier.name), 0)
                     if count >= tier.max_replicas:
                         continue
-                    caps = {settings.replica_cap}
+                    dormant_vm = None
+                    ideal_cap = None
                     if target_caps is not None:
                         # The dormant VM that would be activated next.
                         for descriptor in self.catalog.for_tier(
                             app.name, tier.name
                         ):
                             if not configuration.is_placed(descriptor.vm_id):
+                                dormant_vm = descriptor.vm_id
                                 ideal_cap = target_caps.get(descriptor.vm_id)
-                                if ideal_cap is not None:
-                                    caps.add(ideal_cap)
                                 break
-                    for host_id in powered:
-                        for cap in sorted(caps):
-                            actions.append(
-                                interned(
-                                    ("add", app.name, tier.name, host_id, cap),
-                                    AddReplica,
-                                    app.name,
-                                    tier.name,
-                                    host_id,
-                                    cap,
+                    add_key = (
+                        "add",
+                        app.name,
+                        tier.name,
+                        dormant_vm,
+                        ideal_cap,
+                        powered_key,
+                    )
+                    sub = vm_cache.get(add_key)
+                    if sub is None:
+                        sub = []
+                        caps = {settings.replica_cap}
+                        if ideal_cap is not None:
+                            caps.add(ideal_cap)
+                        for host_id in powered:
+                            for cap in sorted(caps):
+                                sub.append(
+                                    interned(
+                                        (
+                                            "add",
+                                            app.name,
+                                            tier.name,
+                                            host_id,
+                                            cap,
+                                        ),
+                                        AddReplica,
+                                        app.name,
+                                        tier.name,
+                                        host_id,
+                                        cap,
+                                    )
                                 )
-                            )
+                        vm_cache[add_key] = sub
+                    actions.extend(sub)
 
         if "power_on" in kinds:
             for host_id in self.host_ids:

@@ -1,0 +1,297 @@
+"""Round-scoring kernels shared by every executor (DESIGN.md §11).
+
+One expansion round of the adaptation search turns a parent vertex and
+its enumerated actions into scored children.  The per-action work that
+parallelizes cleanly — validating the action's placement delta and
+predicting its transient cost — lives here as plain functions over a
+:class:`ScoreContext`, so the serial executor calls them inline, the
+thread executor calls them from a pool sharing the same objects, and
+the process executor calls them in forked workers that inherited the
+context as a module global (fork-safe: nothing but the small per-round
+payload ever crosses the pickle boundary).
+
+Cost predictions are memoized: a prediction depends on the parent
+configuration only through the action's affected-application set and
+affected-host count, so across the thousands of children one search
+generates the distinct-key count is small.  Predictions are pure table
+lookups — a memo hit returns float-identical values, keeping every
+executor bit-identical to the serial path.
+
+:func:`column_sums` is the bit-identity workhorse of the vectorized
+scoring in ``core/search``: reducing a ``[terms, children]`` matrix by
+accumulating one row at a time reproduces, per child, the exact
+left-to-right float additions of the serial ``sum(list)`` — unlike
+``numpy.sum``, whose pairwise summation rounds differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import (
+    ActionError,
+    AdaptationAction,
+    AddReplica,
+    MigrateVm,
+    RemoveReplica,
+    RoundDeltaResolver,
+)
+from repro.core.config import Configuration, ConstraintLimits, VmCatalog
+from repro.costmodel.manager import CostManager, PredictedCost
+
+#: An entry of a scored round: the action's placement delta plus its
+#: predicted cost, or None when the action is inapplicable.
+ScoredAction = Optional[tuple[tuple, PredictedCost]]
+
+
+@dataclass(frozen=True)
+class ScoreContext:
+    """Everything a worker needs to score actions (picklable, and
+    installed into process workers before the fork)."""
+
+    catalog: VmCatalog
+    limits: ConstraintLimits
+    cost_manager: CostManager
+
+
+#: Keep per-executor prediction memos bounded; a search run cycles
+#: through few distinct (workload, action, neighbourhood) keys, but an
+#: executor reused across thousands of searches should not grow without
+#: limit.
+_MEMO_LIMIT = 100_000
+
+
+_EMPTY_APPS: frozenset = frozenset()
+
+
+def apps_by_host(
+    context: ScoreContext, configuration: Configuration
+) -> dict:
+    """Host id -> frozenset of application names placed on it.
+
+    One O(placements) pass replaces the per-action host scans of
+    ``AdaptationAction.affected_apps`` when a whole round is scored at
+    once; hosts with no VMs are simply absent (look up with
+    ``_EMPTY_APPS`` as the default).
+    """
+    get = context.catalog.get
+    collected: dict[str, set] = {}
+    for vm_id, placement in configuration.placement_items():
+        collected.setdefault(placement.host_id, set()).add(get(vm_id).app_name)
+    return {host: frozenset(apps) for host, apps in collected.items()}
+
+
+def predict_key(
+    context: ScoreContext,
+    action: AdaptationAction,
+    configuration: Configuration,
+    wkey: tuple,
+    host_apps: Optional[dict] = None,
+) -> tuple:
+    """Memo key capturing everything a cost prediction reads.
+
+    :meth:`CostManager.predict` consults the configuration only through
+    ``affected_apps`` (which applications' response times move) and
+    ``len(affected_hosts)`` (the power-delta scaling of migrations and
+    replica changes); the workload vector enters via the table lookup
+    rate.  Two calls with equal keys return float-identical costs.
+
+    ``host_apps`` (the round's :func:`apps_by_host` map) enables
+    per-kind fast keys that skip building the affected-app union —
+    sound because every prediction on this path follows a successful
+    ``placement_delta``, which pins the facts the generic key spells
+    out.  Per kind:
+
+    * cap changes, power toggles, null: the affected set ({the VM's
+      app}, or empty) and host count are constants of the action, so
+      ``(wkey, action)`` suffices;
+    * migrate: the VM is placed (delta validated) and source != target
+      (same-host migrations raise), so the affected set is exactly
+      ``apps(src) | apps(dst)`` (the VM's own app is in ``apps(src)``)
+      and the host count is always 2 — keying the two sets separately
+      is at worst finer than their union;
+    * add/remove replica: one affected host, and the affected set is
+      the target/source host's apps plus the action's own app.
+
+    Fast keys and generic keys are tuples of different shapes, so the
+    two schemes never collide within one memo.
+    """
+    if host_apps is not None:
+        kind = type(action)
+        if kind is MigrateVm:
+            placement = configuration.placement_of(action.vm_id)
+            src = (
+                host_apps.get(placement.host_id, _EMPTY_APPS)
+                if placement is not None
+                else _EMPTY_APPS
+            )
+            return (
+                wkey,
+                action,
+                src,
+                host_apps.get(action.target_host, _EMPTY_APPS),
+            )
+        if kind is AddReplica:
+            return (
+                wkey,
+                action,
+                host_apps.get(action.target_host, _EMPTY_APPS),
+            )
+        if kind is RemoveReplica:
+            placement = configuration.placement_of(action.vm_id)
+            src = (
+                host_apps.get(placement.host_id, _EMPTY_APPS)
+                if placement is not None
+                else _EMPTY_APPS
+            )
+            return (wkey, action, src)
+        return (wkey, action)
+    return (
+        wkey,
+        action,
+        action.affected_apps(configuration, context.catalog),
+        len(action.affected_hosts(configuration)),
+    )
+
+
+def predict_cached(
+    context: ScoreContext,
+    action: AdaptationAction,
+    configuration: Configuration,
+    workloads: Mapping[str, float],
+    memo: Optional[dict],
+    wkey: tuple,
+    host_apps: Optional[dict] = None,
+) -> PredictedCost:
+    """Predict one action's cost through the memo."""
+    if memo is None:
+        return context.cost_manager.predict(action, configuration, workloads)
+    key = predict_key(context, action, configuration, wkey, host_apps)
+    predicted = memo.get(key)
+    if predicted is None:
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        predicted = context.cost_manager.predict(
+            action, configuration, workloads
+        )
+        memo[key] = predicted
+    return predicted
+
+
+def score_actions(
+    context: ScoreContext,
+    configuration: Configuration,
+    actions: Sequence[AdaptationAction],
+    workloads: Mapping[str, float],
+    memo: Optional[dict] = None,
+    wkey: tuple = (),
+) -> list[ScoredAction]:
+    """Delta + predicted cost per action, ``None`` for inapplicable ones.
+
+    Results are positional: ``out[i]`` corresponds to ``actions[i]``,
+    which is what makes chunked parallel execution mergeable into the
+    exact serial order.
+    """
+    out: list[ScoredAction] = []
+    host_apps = apps_by_host(context, configuration) if memo is not None else None
+    resolver = RoundDeltaResolver(
+        configuration, context.catalog, context.limits
+    )
+    for action in actions:
+        try:
+            delta = resolver.delta(action)
+        except ActionError:
+            out.append(None)
+            continue
+        out.append(
+            (
+                delta,
+                predict_cached(
+                    context,
+                    action,
+                    configuration,
+                    workloads,
+                    memo,
+                    wkey,
+                    host_apps,
+                ),
+            )
+        )
+    return out
+
+
+def predict_actions(
+    context: ScoreContext,
+    configuration: Configuration,
+    actions: Sequence[AdaptationAction],
+    workloads: Mapping[str, float],
+    memo: Optional[dict] = None,
+    wkey: tuple = (),
+) -> list[PredictedCost]:
+    """Predicted cost per action (all already validated by their delta)."""
+    host_apps = apps_by_host(context, configuration) if memo is not None else None
+    return [
+        predict_cached(
+            context, action, configuration, workloads, memo, wkey, host_apps
+        )
+        for action in actions
+    ]
+
+
+# ----------------------------------------------------------------------
+# process-pool side (fork-inherited context, pickle-light payloads)
+# ----------------------------------------------------------------------
+
+#: Installed by :func:`install_worker_context` before the process pool
+#: forks; workers read it instead of receiving it per task.
+_WORKER_CONTEXT: Optional[ScoreContext] = None
+#: Per-worker prediction memo (each forked process owns one).
+_WORKER_MEMO: dict = {}
+
+
+def install_worker_context(context: ScoreContext) -> None:
+    """Stage the context for forked workers (call before pool creation)."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    _WORKER_MEMO.clear()
+
+
+def _process_score_chunk(payload: tuple) -> list[ScoredAction]:
+    """Pool task: score one chunk of a round in a forked worker."""
+    configuration, actions, workloads, wkey = payload
+    assert _WORKER_CONTEXT is not None, "worker context never installed"
+    return score_actions(
+        _WORKER_CONTEXT, configuration, actions, workloads, _WORKER_MEMO, wkey
+    )
+
+
+def _process_predict_chunk(payload: tuple) -> list[PredictedCost]:
+    """Pool task: predict one chunk of survivor actions."""
+    configuration, actions, workloads, wkey = payload
+    assert _WORKER_CONTEXT is not None, "worker context never installed"
+    return predict_actions(
+        _WORKER_CONTEXT, configuration, actions, workloads, _WORKER_MEMO, wkey
+    )
+
+
+# ----------------------------------------------------------------------
+# bit-identical vectorized reductions
+# ----------------------------------------------------------------------
+
+
+def column_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-column sums accumulated row by row.
+
+    For a ``[terms, children]`` matrix this performs, in every column,
+    the identical sequence of scalar float additions the serial path's
+    ``sum(term_list)`` performs — same operands, same order, starting
+    from zero — so the results are bit-identical per child.  (``np.sum``
+    would use pairwise summation and round differently.)
+    """
+    total = np.zeros(matrix.shape[1], dtype=np.float64)
+    for row in matrix:
+        total = total + row
+    return total

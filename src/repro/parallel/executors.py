@@ -1,0 +1,220 @@
+"""Pluggable executors for the worker-pool expansion stage.
+
+An executor scores one expansion round — ``score`` returns each
+action's (delta, predicted cost) and ``predict`` just the costs of
+already-validated survivors — behind one of three backings:
+
+``SerialExecutor``
+    inline, zero overhead; the reference everything else must match.
+``ThreadExecutor``
+    a thread pool sharing the context and memo (GIL-bound for this
+    pure-Python workload, but contention-free and always available).
+``ProcessExecutor``
+    a forked ``multiprocessing`` pool.  The :class:`ScoreContext` is
+    installed as a module global *before* the fork so workers inherit
+    it; per-round payloads carry only the parent configuration, the
+    action chunk, and the workload vector — pickle-light by design.
+
+Every backing splits a round into contiguous chunks and concatenates
+the results in chunk order, so the merged list is positionally
+identical to the serial result: the **deterministic merge** that keeps
+parallel search outcomes bit-identical (children are consumed in
+action-enumeration order downstream, preserving heap tie-breakers).
+
+``make_executor`` resolves the ``"auto"`` policy: fork-backed processes
+when the machine has more than one CPU, the inline serial path
+otherwise — on a single core any pool only adds dispatch overhead on
+top of the batch path's vectorization, so "auto" refuses to pretend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+from repro.core.actions import AdaptationAction
+from repro.core.config import Configuration
+from repro.costmodel.manager import PredictedCost
+from repro.parallel.batch import (
+    ScoreContext,
+    ScoredAction,
+    _process_predict_chunk,
+    _process_score_chunk,
+    install_worker_context,
+    predict_actions,
+    score_actions,
+)
+
+#: Recognized executor kinds (``SearchSettings.parallel_executor``).
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+def _chunks(items: Sequence, parts: int) -> list[Sequence]:
+    """Split into at most ``parts`` contiguous, order-preserving chunks."""
+    count = len(items)
+    parts = max(1, min(parts, count))
+    size, extra = divmod(count, parts)
+    out = []
+    start = 0
+    for index in range(parts):
+        end = start + size + (1 if index < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+class SerialExecutor:
+    """Inline scoring — the reference implementation."""
+
+    kind = "serial"
+
+    def __init__(self, context: ScoreContext, workers: int = 1) -> None:
+        self.context = context
+        self.workers = 1
+        self._memo: dict = {}
+
+    def score(
+        self,
+        configuration: Configuration,
+        actions: Sequence[AdaptationAction],
+        workloads: Mapping[str, float],
+        wkey: tuple,
+    ) -> list[ScoredAction]:
+        return score_actions(
+            self.context, configuration, actions, workloads, self._memo, wkey
+        )
+
+    def predict(
+        self,
+        configuration: Configuration,
+        actions: Sequence[AdaptationAction],
+        workloads: Mapping[str, float],
+        wkey: tuple,
+    ) -> list[PredictedCost]:
+        return predict_actions(
+            self.context, configuration, actions, workloads, self._memo, wkey
+        )
+
+    def close(self) -> None:
+        self._memo.clear()
+
+
+class ThreadExecutor:
+    """Thread-pool scoring sharing the in-process context and memo."""
+
+    kind = "thread"
+
+    def __init__(self, context: ScoreContext, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(f"thread executor needs >= 2 workers, got {workers}")
+        self.context = context
+        self.workers = workers
+        # Shared memo: predictions are pure, so a racing double-compute
+        # stores the same value twice — benign under the GIL.
+        self._memo: dict = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-score"
+        )
+
+    def _map(self, fn, configuration, actions, workloads, wkey) -> list:
+        futures = [
+            self._pool.submit(
+                fn, self.context, configuration, chunk, workloads, self._memo, wkey
+            )
+            for chunk in _chunks(actions, self.workers)
+        ]
+        merged: list = []
+        for future in futures:  # chunk order == action order
+            merged.extend(future.result())
+        return merged
+
+    def score(self, configuration, actions, workloads, wkey):
+        return self._map(score_actions, configuration, actions, workloads, wkey)
+
+    def predict(self, configuration, actions, workloads, wkey):
+        return self._map(
+            predict_actions, configuration, actions, workloads, wkey
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self._memo.clear()
+
+
+class ProcessExecutor:
+    """Forked process-pool scoring with pickle-light payloads."""
+
+    kind = "process"
+
+    def __init__(self, context: ScoreContext, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"process executor needs >= 2 workers, got {workers}"
+            )
+        self.context = context
+        self.workers = workers
+        # Workers inherit the context through fork, not pickling.
+        install_worker_context(context)
+        self._pool = multiprocessing.get_context("fork").Pool(
+            processes=workers
+        )
+
+    def _map(self, chunk_fn, configuration, actions, workloads, wkey) -> list:
+        payloads = [
+            (configuration, chunk, workloads, wkey)
+            for chunk in _chunks(actions, self.workers)
+        ]
+        merged: list = []
+        for result in self._pool.map(chunk_fn, payloads):
+            merged.extend(result)
+        return merged
+
+    def score(self, configuration, actions, workloads, wkey):
+        return self._map(
+            _process_score_chunk, configuration, actions, workloads, wkey
+        )
+
+    def predict(self, configuration, actions, workloads, wkey):
+        return self._map(
+            _process_predict_chunk, configuration, actions, workloads, wkey
+        )
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+
+def resolve_executor_kind(kind: str, workers: int) -> str:
+    """Resolve ``"auto"`` (and degenerate worker counts) to a backing.
+
+    One worker is always serial.  ``auto`` picks forked processes when
+    the host actually has CPUs to fan out over, and the serial inline
+    path otherwise — the batch path's vectorized scoring is where a
+    single-core host's speedup comes from, and pretending a pool helps
+    there would only hide dispatch overhead in every round.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    if workers <= 1 or kind == "serial":
+        return "serial"
+    if kind != "auto":
+        return kind
+    if (os.cpu_count() or 1) <= 1:
+        return "serial"
+    if hasattr(os, "fork"):
+        return "process"
+    return "thread"
+
+
+def make_executor(kind: str, workers: int, context: ScoreContext):
+    """Build the executor backing ``kind`` resolves to."""
+    resolved = resolve_executor_kind(kind, workers)
+    if resolved == "serial":
+        return SerialExecutor(context)
+    if resolved == "thread":
+        return ThreadExecutor(context, workers)
+    return ProcessExecutor(context, workers)

@@ -1,0 +1,34 @@
+"""Worker-count resolution for the parallel evaluation stage.
+
+:class:`~repro.core.search.SearchSettings.parallel_workers` is the
+authoritative knob; when it is left at ``None`` the search consults
+:func:`default_workers`, which reads the ``MISTRAL_PARALLEL_WORKERS``
+environment variable.  This is how CI runs the whole tier-1 suite with
+the parallel stage forced on (the outcomes are bit-identical, so every
+test must still pass) without touching any test code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable supplying the default worker count.
+ENV_WORKERS = "MISTRAL_PARALLEL_WORKERS"
+
+
+def default_workers() -> Optional[int]:
+    """Worker count from ``MISTRAL_PARALLEL_WORKERS``, if set and sane.
+
+    Returns ``None`` (parallel stage off) when the variable is unset,
+    empty, non-numeric, or below 1 — a misconfigured environment must
+    degrade to the serial path, never crash the controller.
+    """
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None

@@ -31,6 +31,16 @@ the same canonical order, so a delta-solved estimate is *bit-identical*
 to a from-scratch ``solve`` of the same configuration — no drift can
 accumulate along a search path.
 
+**Batched path.**  ``solve_batch`` evaluates a list of candidate
+configurations as one numpy-vectorized batch: per tier, the replica
+caps of every candidate form a matrix, utilizations and
+processor-sharing terms are computed element-wise across the batch,
+and the linearized overload tail is applied column-wise.  Sums are
+accumulated column-by-column in catalog order — the same sequence of
+scalar additions the scalar kernel performs — so each batched solution
+is *bit-identical* to ``solve_state`` of the same configuration (the
+equivalence is enforced by ``tests/test_parallel.py``).
+
 **Host contract.**  Every placement's host must be powered on — this is
 enforced by :class:`~repro.core.config.Configuration` itself — and the
 returned ``host_utilizations`` contains exactly one entry per powered
@@ -43,7 +53,9 @@ hosts the power model never sees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.config import Configuration, VmCatalog
 from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
@@ -212,6 +224,197 @@ class LqnSolver:
             tiers=tiers,
             estimate=self._compose(configuration, workloads, tiers),
         )
+
+    # -- batched solve ---------------------------------------------------------
+
+    def solve_batch(
+        self,
+        configurations: Sequence[Configuration],
+        workloads: Mapping[str, float],
+    ) -> list[SolveState]:
+        """Solve many configurations under one workload vector at once.
+
+        The per-tier arithmetic runs vectorized across the batch (see
+        the module docstring's *Batched path*); every returned
+        :class:`SolveState` is bit-identical to ``solve_state`` of the
+        same configuration, so batch results interoperate freely with
+        the incremental path (``update_state`` accepts them).
+
+        Like :meth:`solve_state`, batches never carry demand
+        multipliers: they exist for the optimizers' hot path, which
+        always evaluates the calibrated model.
+        """
+        batch = len(configurations)
+        if batch == 0:
+            return []
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("solver.batch_solves").inc()
+            registry.counter("solver.batch_configs").inc(batch)
+        placements = [
+            configuration.placements for configuration in configurations
+        ]
+        per_config_tiers: list[dict[tuple[str, str], TierSolution]] = [
+            {} for _ in range(batch)
+        ]
+        for app_name, rate in workloads.items():
+            for tier_name, vm_ids in self._app_tiers.get(app_name, ()):
+                solutions = self._solve_tier_batch(
+                    app_name, tier_name, vm_ids, placements, rate
+                )
+                key = (app_name, tier_name)
+                for tiers, solution in zip(per_config_tiers, solutions):
+                    tiers[key] = solution
+        return [
+            SolveState(
+                configuration=configuration,
+                tiers=tiers,
+                estimate=self._compose(configuration, workloads, tiers),
+            )
+            for configuration, tiers in zip(configurations, per_config_tiers)
+        ]
+
+    def _solve_tier_batch(
+        self,
+        app_name: str,
+        tier_name: str,
+        vm_ids: tuple[str, ...],
+        placements: Sequence[Mapping[str, "object"]],
+        rate: float,
+    ) -> list[TierSolution]:
+        """Vectorized ``_solve_tier`` across a batch of configurations.
+
+        Bit-identity with the scalar kernel rests on two facts: numpy's
+        element-wise float64 arithmetic is the same IEEE-754 operation
+        the interpreter performs on Python floats, and every reduction
+        here is accumulated column-by-column in catalog order — adding
+        ``0.0`` for unplaced replicas, which is exact — so each batch
+        element sees the same sequence of scalar additions the loop in
+        ``_solve_tier`` performs.
+        """
+        params = self._parameters
+        batch = len(placements)
+        count = len(vm_ids)
+        demand = params.inflated_demand(app_name, tier_name)
+        visits = params.visits(app_name, tier_name)
+
+        caps = np.zeros((batch, count))
+        placed = np.zeros((batch, count), dtype=bool)
+        hosts: list[list[Optional[str]]] = []
+        for j, vm_id in enumerate(vm_ids):
+            for b, mapping in enumerate(placements):
+                placement = mapping.get(vm_id)
+                if placement is not None:
+                    caps[b, j] = placement.cpu_cap
+                    placed[b, j] = True
+        for mapping in placements:
+            hosts.append(
+                [
+                    (
+                        mapping[vm_id].host_id
+                        if vm_id in mapping
+                        else None
+                    )
+                    for vm_id in vm_ids
+                ]
+            )
+
+        # total_cap: column-accumulated in catalog order (0.0 for
+        # unplaced replicas — exact, the scalar sum simply skips them).
+        total_cap = np.zeros(batch)
+        for j in range(count):
+            total_cap = total_cap + caps[:, j]
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            rho = np.where(
+                total_cap > 0.0,
+                np.divide(rate * demand, total_cap),
+                np.inf,
+            )
+            served_rho = np.minimum(rho, 1.0)
+            if demand:
+                served_rate = np.minimum(rate, total_cap / demand)
+            else:
+                served_rate = np.full(batch, rate)
+
+            knee = params.saturation_knee
+            slope = params.overload_slope_seconds
+            tier_time = np.zeros(batch)
+            vm_util_cols: list[np.ndarray] = []
+            host_busy_cols: list[np.ndarray] = []
+            for j in range(count):
+                cap_j = caps[:, j]
+                routing = np.where(placed[:, j], cap_j / total_cap, 0.0)
+                base = np.divide(demand, cap_j)
+                ps = np.where(
+                    rho < knee,
+                    base / (1.0 - rho),
+                    base / (1.0 - knee) + (rho - knee) * slope,
+                )
+                tier_time = tier_time + np.where(
+                    placed[:, j], routing * ps, 0.0
+                )
+                vm_util_cols.append(served_rho)
+                host_busy_cols.append(
+                    served_rho * cap_j
+                    + routing * served_rate * visits
+                    * params.dom0_demand_per_visit
+                )
+
+        term = tier_time + visits * params.network_latency_per_visit
+
+        rho_list = rho.tolist()
+        term_list = term.tolist()
+        served_rho_list = served_rho.tolist()
+        busy_lists = [column.tolist() for column in host_busy_cols]
+        placed_list = placed.tolist()
+
+        dormant_active = TierSolution(
+            utilization=float("inf"),
+            term=params.overload_slope_seconds,
+            saturated=True,
+            vm_utilizations=(),
+            host_busy=(),
+        )
+        dormant_idle = TierSolution(
+            utilization=None,
+            term=0.0,
+            saturated=False,
+            vm_utilizations=(),
+            host_busy=(),
+        )
+
+        solutions: list[TierSolution] = []
+        for b in range(batch):
+            row = placed_list[b]
+            if not any(row):
+                solutions.append(
+                    dormant_active
+                    if demand > 0 and rate > 0
+                    else dormant_idle
+                )
+                continue
+            served = served_rho_list[b]
+            vm_utilizations = tuple(
+                (vm_id, served)
+                for j, vm_id in enumerate(vm_ids)
+                if row[j]
+            )
+            host_busy = tuple(
+                (hosts[b][j], busy_lists[j][b])
+                for j, vm_id in enumerate(vm_ids)
+                if row[j]
+            )
+            solutions.append(
+                TierSolution(
+                    utilization=rho_list[b],
+                    term=term_list[b],
+                    saturated=rho_list[b] >= 1.0,
+                    vm_utilizations=vm_utilizations,
+                    host_busy=host_busy,
+                )
+            )
+        return solutions
 
     # -- shared kernels --------------------------------------------------------
 

@@ -30,15 +30,20 @@ Sinks receive finished event dicts:
 - :class:`JsonlFileSink` — appends one JSON object per line to a file,
   starting with a ``meta`` header line.
 
-The tracer keeps one open-span stack, matching the single-threaded
-simulation/search architecture of this repository; it is not
-thread-safe.
+The tracer keeps one open-span stack *per thread*: spans opened on a
+worker thread (the parallel evaluation stage, concurrent 1st-level
+controllers) nest under that thread's own spans, never under another
+thread's, while ``seq`` stays globally ordered across threads.  Sinks
+serialize their writes, so interleaved emissions from planning threads
+produce valid JSONL.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import IO, Optional, Union
@@ -92,6 +97,7 @@ class JsonlFileSink:
 
     def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
         self._path = str(path)
+        self._lock = threading.Lock()
         self._file: Optional[IO[str]] = open(self._path, "w", encoding="utf-8")
         self.emit(
             {
@@ -108,16 +114,19 @@ class JsonlFileSink:
         return self._path
 
     def emit(self, event: dict) -> None:
-        if self._file is None:
-            raise ValueError(f"sink for {self._path!r} is closed")
-        self._file.write(
-            json.dumps(event, separators=(",", ":"), default=str) + "\n"
-        )
+        # Serialize under the lock so events emitted from concurrent
+        # planning threads land as whole lines.
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            if self._file is None:
+                raise ValueError(f"sink for {self._path!r} is closed")
+            self._file.write(line)
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 class Span:
@@ -193,8 +202,10 @@ class Tracer:
     def __init__(self, sink: Optional[object] = None) -> None:
         self._sink = sink if sink is not None else NullSink()
         self._epoch = time.perf_counter()
-        self._seq = 0
-        self._stack: list[Span] = []
+        # ``next()`` on an iterator is atomic under the GIL, so seq
+        # numbers stay unique and globally ordered without a lock.
+        self._seq = itertools.count()
+        self._local = threading.local()
 
     @property
     def sink(self):
@@ -207,43 +218,50 @@ class Tracer:
         self._sink = sink
 
     def reset(self) -> None:
-        """Restart the epoch, sequence numbers, and open-span stack."""
+        """Restart the epoch, sequence numbers, and this thread's
+        open-span stack (call between runs, not mid-trace: other
+        threads' stacks reset lazily when they next touch the tracer
+        after their spans close)."""
         self._epoch = time.perf_counter()
-        self._seq = 0
-        self._stack.clear()
+        self._seq = itertools.count()
+        self._stack().clear()
 
     # -- emission ----------------------------------------------------------
 
-    def _next_seq(self) -> int:
-        seq = self._seq
-        self._seq = seq + 1
-        return seq
+    def _stack(self) -> list:
+        """The calling thread's open-span stack (created on demand)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
-    def _parent_seq(self) -> Optional[int]:
-        return self._stack[-1].seq if self._stack else None
+    def _next_seq(self) -> int:
+        return next(self._seq)
 
     def span(self, name: str, **attrs) -> Span:
         """Open a span; closing it (context-manager exit) emits it."""
+        stack = self._stack()
         span = Span(
             self,
             name,
             attrs,
             seq=self._next_seq(),
-            parent=self._parent_seq(),
-            depth=len(self._stack),
+            parent=stack[-1].seq if stack else None,
+            depth=len(stack),
             start=time.perf_counter(),
         )
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def _close_span(self, span: Span) -> None:
         end = time.perf_counter()
+        stack = self._stack()
         # Tolerate mispaired exits (an inner span leaked open): close
         # everything above the exiting span as well.
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
-        if self._stack:
-            self._stack.pop()
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
         self._sink.emit(
             {
                 "v": SCHEMA_VERSION,
@@ -260,14 +278,15 @@ class Tracer:
 
     def event(self, name: str, **attrs) -> None:
         """Emit one instantaneous event at the current nesting level."""
+        stack = self._stack()
         self._sink.emit(
             {
                 "v": SCHEMA_VERSION,
                 "kind": "event",
                 "name": name,
                 "seq": self._next_seq(),
-                "parent": self._parent_seq(),
-                "depth": len(self._stack),
+                "parent": stack[-1].seq if stack else None,
+                "depth": len(stack),
                 "t": time.perf_counter() - self._epoch,
                 "attrs": attrs,
             }

@@ -35,8 +35,11 @@ from repro.testbed.testbed import Testbed, TestbedSettings
 from repro.workload.monitor import WorkloadMonitor
 from repro.workload.traces import standard_traces
 
-#: Hosts per scenario size, matching Table I.
-HOSTS_FOR_APPS = {1: 2, 2: 4, 3: 6, 4: 8}
+#: Hosts per scenario size.  1-4 apps match Table I; the 5- and 6-app
+#: rows extrapolate the paper's 2-hosts-per-app ratio to give the
+#: parallel-evaluation benchmarks a size where rounds are wide enough
+#: to amortize batching.
+HOSTS_FOR_APPS = {1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12}
 
 #: The paper's workload bands per controller level (req/s).
 LEVEL1_BAND = 0.0
@@ -133,6 +136,7 @@ def build_mistral(
     search_settings: Optional[SearchSettings] = None,
     enable_feedback: bool = True,
     enable_trend: bool = True,
+    parallel_workers: Optional[int] = None,
 ) -> tuple[object, Configuration]:
     """Mistral: two-level hierarchy (or a single global controller).
 
@@ -140,6 +144,15 @@ def build_mistral(
     ``enable_feedback`` / ``enable_trend`` switch off the online
     model-feedback calibration and the workload-trend extrapolation
     (the ablation benchmarks exercise these).
+
+    ``parallel_workers >= 2`` additionally (a) lets every search score
+    expansion rounds through the batched evaluator (DESIGN.md §11) and
+    (b) plans the 1st-level controllers concurrently on a thread pool.
+    Concurrent 1st-level controllers each get a *private* estimator
+    and ideal-configuration optimizer — their memo caches are plain
+    dicts, unsafe to share across planning threads — while the
+    stateless solver, power model, cost tables, and catalog stay
+    shared.
     """
     interval = testbed.utility.parameters.monitoring_interval
 
@@ -174,10 +187,37 @@ def build_mistral(
         )
     else:
         feedback = None
+        feedback_utility = None
         estimator = testbed.estimator
         optimizer = _global_perf_pwr(testbed)
 
-    def make_search(kinds, hosts, scope) -> AdaptationSearch:
+    groups = level1_host_groups(testbed.host_ids)
+    concurrent_level1 = (
+        hierarchical
+        and parallel_workers is not None
+        and parallel_workers > 1
+        and len(groups) > 1
+    )
+
+    def private_estimator():
+        """A fresh estimator (own memo caches) over the shared,
+        stateless solver / power / utility / catalog artifacts."""
+        if feedback is not None:
+            return FeedbackUtilityEstimator(
+                feedback,
+                testbed.model_solver,
+                testbed.model_power,
+                feedback_utility,
+                testbed.catalog,
+            )
+        return UtilityEstimator(
+            testbed.model_solver,
+            testbed.model_power,
+            testbed.planning_utility,
+            testbed.catalog,
+        )
+
+    def make_search(kinds, hosts, scope, private=False) -> AdaptationSearch:
         base = search_settings or SearchSettings()
         settings = replace(
             base, allowed_kinds=frozenset(kinds), self_aware=self_aware
@@ -187,13 +227,30 @@ def build_mistral(
             # its expansions so experiment wall time stays bounded (its
             # virtual search durations still dwarf the self-aware ones).
             settings = replace(settings, max_expansions=2500)
+        if parallel_workers is not None and search_settings is None:
+            settings = replace(settings, parallel_workers=parallel_workers)
+        search_estimator = estimator
+        search_optimizer = optimizer
+        if private:
+            # Concurrent L1 planning threads must not share memo
+            # caches; the ideal-configuration optimizer stays global
+            # over all hosts (parity with the shared one) but caches
+            # into this controller's private estimator.
+            search_estimator = private_estimator()
+            search_optimizer = PerfPwrOptimizer(
+                testbed.applications,
+                testbed.catalog,
+                testbed.limits,
+                search_estimator,
+                testbed.host_ids,
+            )
         search = AdaptationSearch(
             testbed.applications,
             testbed.catalog,
             testbed.limits,
-            estimator,
+            search_estimator,
             testbed.cost_manager,
-            optimizer,
+            search_optimizer,
             hosts,
             settings,
         )
@@ -220,15 +277,19 @@ def build_mistral(
     level1 = [
         MistralController(
             name=f"mistral-L1-{index}",
-            search=make_search(LEVEL1_ACTION_KINDS, group, group),
+            search=make_search(
+                LEVEL1_ACTION_KINDS, group, group, private=concurrent_level1
+            ),
             monitor=WorkloadMonitor(band_width=LEVEL1_BAND),
             min_control_window=interval,
         )
-        for index, group in enumerate(level1_host_groups(testbed.host_ids))
+        for index, group in enumerate(groups)
     ]
     for controller in level1:
         controller.trend_extrapolation = enable_trend
-    hierarchy = ControllerHierarchy(level1, level2)
+    hierarchy = ControllerHierarchy(
+        level1, level2, parallel_workers=parallel_workers
+    )
     hierarchy.feedback = feedback
     return hierarchy, initial_configuration(testbed)
 

@@ -265,6 +265,7 @@ class Testbed:
         faults: Optional[FaultConfig] = None,
         recovery: Optional[RecoveryPolicy] = None,
         resilience: Optional[DegradationSettings] = None,
+        parallel: Optional[int] = None,
     ) -> RunMetrics:
         """Run one strategy over the horizon and collect metrics.
 
@@ -272,6 +273,14 @@ class Testbed:
         ``on_sample(now, workloads, configuration, busy)`` returning a
         decision, a list of decisions, or None, plus
         ``record_interval_utility(value)``.
+
+        ``parallel`` (duck-typed, like the fault hooks) routes every
+        search the controller owns through the batched evaluation
+        stage with that worker count and — for hierarchies that
+        support it — plans 1st-level controllers concurrently.  Worker
+        pools the run started are always released before it returns,
+        whether or not ``parallel`` was given (controllers built with
+        their own ``parallel_workers`` rebuild pools on demand).
 
         ``faults`` attaches a seeded :class:`FaultInjector` to the run:
         scripted host crashes are scheduled, monitoring samples may be
@@ -284,6 +293,13 @@ class Testbed:
         """
         settings = self.settings
         span = horizon if horizon is not None else settings.horizon
+        if parallel is not None:
+            if hasattr(controller, "parallel_workers"):
+                controller.parallel_workers = parallel
+            for search in _searches_of(controller):
+                search.settings = replace_params(
+                    search.settings, parallel_workers=parallel
+                )
         injector = FaultInjector(faults) if faults is not None else None
         recovery_policy: Optional[RecoveryPolicy] = None
         if injector is not None:
@@ -553,15 +569,19 @@ class Testbed:
             start=0.0,
             label="monitor",
         )
-        with _telemetry.span(
-            "testbed.run",
-            strategy=strategy,
-            horizon=span,
-            monitoring_interval=settings.monitoring_interval,
-            hosts=len(self.host_ids),
-            applications=len(self.applications),
-        ):
-            engine.run_until(span)
+        try:
+            with _telemetry.span(
+                "testbed.run",
+                strategy=strategy,
+                horizon=span,
+                monitoring_interval=settings.monitoring_interval,
+                hosts=len(self.host_ids),
+                applications=len(self.applications),
+            ):
+                engine.run_until(span)
+        finally:
+            if hasattr(controller, "shutdown_parallel"):
+                controller.shutdown_parallel()
         _telemetry.emit_metrics_snapshot(strategy=strategy)
 
         for decision, handle in pending:
@@ -593,3 +613,24 @@ def _normalize(output: ControllerOutput) -> list[Decision]:
     if isinstance(output, Decision):
         return [output]
     return [decision for decision in output if decision is not None]
+
+
+def _searches_of(controller) -> list:
+    """Every :class:`AdaptationSearch` a strategy's controller owns.
+
+    Duck-typed over the three controller shapes: hierarchies expose
+    ``controllers()``, single controllers a ``search``, and the
+    Perf-Cost baseline a per-app ``app_searches`` map.
+    """
+    members = (
+        controller.controllers()
+        if hasattr(controller, "controllers")
+        else [controller]
+    )
+    searches = []
+    for member in members:
+        if hasattr(member, "search"):
+            searches.append(member.search)
+        if hasattr(member, "app_searches"):
+            searches.extend(member.app_searches.values())
+    return searches

@@ -81,7 +81,7 @@ def test_run_metrics_summary():
 
 
 def test_hosts_for_apps_table():
-    assert HOSTS_FOR_APPS == {1: 2, 2: 4, 3: 6, 4: 8}
+    assert HOSTS_FOR_APPS == {1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12}
     with pytest.raises(ValueError):
         make_testbed(app_count=9)
 
