@@ -18,6 +18,10 @@ prints:
 - estimator/solver/optimizer efficiency (from the last
   ``metrics.snapshot`` event): cache hit ratios, delta vs. full
   solver evaluations;
+- a ``checkpoint/watchdog`` section rolling up ``checkpoint.*``,
+  ``watchdog.*``, and ``failover.*`` events (snapshot saves/restores,
+  deadline aborts with their overshoot, controller crashes and warm
+  restores) — omitted for traces without them;
 - a per-span-name duration summary.
 
 The reader refuses traces whose schema version it does not know —
@@ -293,6 +297,122 @@ def resilience_rollup(events: list[dict]) -> dict:
     }
 
 
+def checkpoint_rollup(events: list[dict]) -> dict:
+    """Checkpoint/watchdog/failover behavior from ``checkpoint.*`` /
+    ``watchdog.*`` / ``failover.*`` events (empty dict when none)."""
+    saves = 0
+    save_bytes: list[float] = []
+    save_failures = 0
+    restores = 0
+    deadline_aborts: list[dict] = []
+    search_aborts = 0
+    crashes: list[dict] = []
+    failover_restores: list[dict] = []
+    failover_failures = 0
+    cold_starts = 0
+    samples_without_level2 = 0
+    for event in events:
+        if event.get("kind") != "event":
+            continue
+        name = event.get("name", "")
+        attrs = event.get("attrs", {})
+        if name == "checkpoint.save":
+            saves += 1
+            save_bytes.append(attrs.get("bytes", 0))
+        elif name == "checkpoint.save_failed":
+            save_failures += 1
+        elif name == "checkpoint.restore":
+            restores += 1
+        elif name == "watchdog.deadline_abort":
+            deadline_aborts.append(
+                {
+                    "deadline": attrs.get("deadline", 0.0),
+                    "wall_seconds": attrs.get("wall_seconds", 0.0),
+                    "expansions": attrs.get("expansions", 0),
+                    "actions": attrs.get("actions", 0),
+                }
+            )
+        elif name == "watchdog.search_aborted":
+            search_aborts += 1
+        elif name == "failover.controller_crash":
+            crashes.append(
+                {
+                    "controller": attrs.get("controller", "?"),
+                    "t_sim": attrs.get("t_sim", 0.0),
+                    "down_until": attrs.get("down_until", 0.0),
+                    "checkpoint_available": attrs.get(
+                        "checkpoint_available", False
+                    ),
+                }
+            )
+        elif name == "failover.restored":
+            failover_restores.append(
+                {
+                    "controller": attrs.get("controller", "?"),
+                    "t_sim": attrs.get("t_sim", 0.0),
+                    "clean": attrs.get("clean", True),
+                    "drift": attrs.get("drift", 0),
+                }
+            )
+        elif name == "failover.restore_failed":
+            failover_failures += 1
+        elif name == "failover.cold_start":
+            cold_starts += 1
+        elif name == "failover.samples_without_level2":
+            samples_without_level2 += 1
+    # The per-sample counter only reaches the trace via the metrics
+    # snapshot; fold it in so the report works either way.
+    for event in events:
+        if (
+            event.get("kind") == "event"
+            and event.get("name") == "metrics.snapshot"
+        ):
+            counters = event.get("attrs", {}).get("metrics", {}).get(
+                "counters", {}
+            )
+            samples_without_level2 = max(
+                samples_without_level2,
+                counters.get("failover.samples_without_level2", 0),
+            )
+    if not (
+        saves
+        or restores
+        or save_failures
+        or deadline_aborts
+        or search_aborts
+        or crashes
+        or cold_starts
+    ):
+        return {}
+    return {
+        "checkpoint": {
+            "saves": saves,
+            "save_failures": save_failures,
+            "restores": restores,
+            "mean_bytes": _mean(save_bytes),
+        },
+        "watchdog": {
+            "deadline_aborts": len(deadline_aborts),
+            "search_aborts": search_aborts,
+            "max_overshoot_seconds": max(
+                (
+                    abort["wall_seconds"] - abort["deadline"]
+                    for abort in deadline_aborts
+                ),
+                default=0.0,
+            ),
+            "aborts": deadline_aborts,
+        },
+        "failover": {
+            "crashes": crashes,
+            "restores": failover_restores,
+            "restore_failures": failover_failures,
+            "cold_starts": cold_starts,
+            "samples_without_level2": samples_without_level2,
+        },
+    }
+
+
 def span_rollup(events: list[dict]) -> dict[str, dict]:
     """Count and total duration per span name."""
     rows: dict[str, dict] = defaultdict(lambda: {"count": 0, "total": 0.0})
@@ -320,6 +440,7 @@ def build_report(events: list[dict]) -> dict:
         "search": search_rollup(events),
         "efficiency": efficiency_rollup(events),
         "resilience": resilience_rollup(events),
+        "checkpoint": checkpoint_rollup(events),
         "spans": span_rollup(events),
     }
 
@@ -475,6 +596,47 @@ def render(report: dict) -> str:
                 f"  degraded -> {entry['level']} "
                 f"[{entry['controller']}] cause={entry['cause']} "
                 f"t={entry['t_sim']:.0f}s"
+            )
+
+    checkpoint = report.get("checkpoint", {})
+    if checkpoint:
+        saves = checkpoint["checkpoint"]
+        watchdog = checkpoint["watchdog"]
+        failover = checkpoint["failover"]
+        out.append("\n== checkpoint/watchdog ==")
+        out.append(
+            f"snapshots: {saves['saves']} saved "
+            f"(mean {saves['mean_bytes']:.0f} bytes, "
+            f"{saves['save_failures']} failed), "
+            f"{saves['restores']} restored"
+        )
+        out.append(
+            f"watchdog: {watchdog['deadline_aborts']} deadline aborts, "
+            f"{watchdog['search_aborts']} controller aborts, "
+            f"max overshoot {watchdog['max_overshoot_seconds']:.3f}s"
+        )
+        out.append(
+            f"failover: {len(failover['crashes'])} controller crashes, "
+            f"{len(failover['restores'])} warm restores, "
+            f"{failover['cold_starts']} cold starts, "
+            f"{failover['restore_failures']} restore failures, "
+            f"{failover['samples_without_level2']} samples without level 2"
+        )
+        for crash in failover["crashes"]:
+            warm = "warm" if crash["checkpoint_available"] else "cold"
+            out.append(
+                f"  crash [{crash['controller']}] t={crash['t_sim']:.0f}s "
+                f"down until {crash['down_until']:.0f}s ({warm} restart)"
+            )
+        for restore in failover["restores"]:
+            state = (
+                "clean"
+                if restore["clean"]
+                else f"drift={restore['drift']} -> replan"
+            )
+            out.append(
+                f"  restored [{restore['controller']}] "
+                f"t={restore['t_sim']:.0f}s ({state})"
             )
 
     spans = report["spans"]

@@ -1,0 +1,42 @@
+"""Controller checkpointing: crash-consistent snapshot/restore.
+
+See DESIGN.md §12 and the runbook in docs/OPERATIONS.md.  The layer
+has three parts:
+
+- :mod:`repro.checkpoint.snapshot` — capture/restore of controller (or
+  hierarchy) state to a schema-versioned, JSON-encodable dict, plus
+  the post-restart reconciliation diff against the live configuration;
+- :mod:`repro.checkpoint.store` — atomic, checksummed persistence of
+  one snapshot file (tmp + fsync + rename);
+- :mod:`repro.checkpoint.replay` — the deterministic decision-loop
+  driver used to prove crash-restart determinism.
+"""
+
+from repro.checkpoint.replay import WindowRecord, drive_windows
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CheckpointError,
+    ReconciliationReport,
+    capture,
+    cost_table_fingerprint,
+    reconcile,
+    restore,
+    restore_level2,
+    snapshot_configuration,
+)
+from repro.checkpoint.store import CheckpointStore
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "ReconciliationReport",
+    "WindowRecord",
+    "capture",
+    "cost_table_fingerprint",
+    "drive_windows",
+    "reconcile",
+    "restore",
+    "restore_level2",
+    "snapshot_configuration",
+]

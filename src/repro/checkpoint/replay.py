@@ -1,0 +1,110 @@
+"""Deterministic decision-loop replay for crash-restart testing.
+
+The testbed's full run loop is deliberately noisy (demand jitter,
+metering noise) and its random streams cannot be rewound to an
+arbitrary mid-run point, so crash-restart *determinism* is exercised
+on a noise-free control loop instead: :func:`drive_windows` feeds a
+controller the testbed's deterministic workload traces, a model-derived
+interval utility, and model-derived "measured" response times (which
+exercise the feedback calibration), window by window, applying each
+non-null decision's final configuration.  Two properties follow:
+
+- the loop is a pure function of (controller state, start window), so
+  an uninterrupted drive and a drive that checkpoints, "dies", restores
+  into a freshly built controller, and continues must produce
+  bit-identical :class:`WindowRecord` sequences — the headline contract
+  of ``tests/test_checkpoint.py`` and the ``--crash-at`` mode of
+  ``scripts/capture_trace.py``;
+- every quantity in a :class:`WindowRecord` is decision state (virtual
+  Eq. 3 seconds, not wall time), so the comparison is exact equality,
+  not tolerance-based.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import Configuration
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """Everything one monitoring window decided (comparison unit)."""
+
+    window: int
+    controller: str
+    actions: tuple[str, ...]
+    control_window: float
+    decision_seconds: float
+    predicted_utility: float
+    configuration: str
+
+    @staticmethod
+    def digest(configuration: Configuration) -> str:
+        """Stable short digest of a configuration's defining state."""
+        payload = repr(
+            (
+                configuration.placement_items(),
+                tuple(sorted(configuration.powered_hosts)),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def drive_windows(
+    controller,
+    configuration: Configuration,
+    testbed,
+    start_window: int,
+    end_window: int,
+    interval: Optional[float] = None,
+) -> tuple[list[WindowRecord], Configuration]:
+    """Drive ``controller`` over monitoring windows [start, end).
+
+    Returns the decision records plus the configuration after the last
+    window, so a continued drive (post-restore) picks up exactly where
+    the interrupted one stopped.
+    """
+    interval = (
+        interval if interval is not None else testbed.settings.monitoring_interval
+    )
+    records: list[WindowRecord] = []
+    for window in range(start_window, end_window):
+        now = window * interval
+        workloads = testbed.workloads_at(now)
+        estimate = testbed.estimator.estimate(configuration, workloads)
+        controller.record_interval_utility(
+            (estimate.perf_rate + estimate.power_rate) * interval
+        )
+        if hasattr(controller, "record_measurements"):
+            controller.record_measurements(
+                workloads, estimate.response_times, configuration
+            )
+        output = controller.on_sample(now, workloads, configuration)
+        decisions = _as_list(output)
+        for decision in decisions:
+            if decision is None or decision.is_null:
+                continue
+            configuration = decision.outcome.final_configuration
+            records.append(
+                WindowRecord(
+                    window=window,
+                    controller=decision.controller,
+                    actions=tuple(repr(a) for a in decision.actions),
+                    control_window=decision.control_window,
+                    decision_seconds=decision.decision_seconds,
+                    predicted_utility=decision.outcome.predicted_utility,
+                    configuration=WindowRecord.digest(configuration),
+                )
+            )
+    return records, configuration
+
+
+def _as_list(output) -> list:
+    if output is None:
+        return []
+    if isinstance(output, (list, tuple)):
+        return list(output)
+    return [output]

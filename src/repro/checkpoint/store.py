@@ -1,0 +1,142 @@
+"""Crash-consistent on-disk snapshot store.
+
+One :class:`CheckpointStore` owns one snapshot file.  Writes are
+atomic — the envelope is serialized to a temporary file in the same
+directory, fsynced, and renamed over the target — so a reader never
+sees a torn snapshot: either the previous complete snapshot or the new
+one.  The envelope embeds a SHA-256 checksum of the canonical snapshot
+JSON plus the schema version, and :meth:`load` verifies both before
+returning, raising :class:`CheckpointError` on any corruption or
+unknown version — never a partial or silently-wrong restore.
+
+Envelope shape (version 1)::
+
+    {"v": 1, "checksum": "<sha256 hex>", "snapshot": {...}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Union
+
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CheckpointError,
+)
+from repro.telemetry import runtime as _telemetry
+
+
+def _canonical(snapshot: dict) -> str:
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Atomic, checksummed persistence for one snapshot file."""
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        self._path = str(path)
+
+    @property
+    def path(self) -> str:
+        """Where the snapshot lives."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether a snapshot file is present (not necessarily valid)."""
+        return os.path.exists(self._path)
+
+    def save(self, snapshot: dict) -> str:
+        """Atomically persist one snapshot; returns the file path.
+
+        The temporary file is created in the target's directory so the
+        rename stays on one filesystem (atomic on POSIX).  On any
+        serialization or write error the temporary file is removed and
+        the previous snapshot, if any, is left untouched.
+        """
+        payload = _canonical(snapshot)
+        envelope = {
+            "v": SNAPSHOT_SCHEMA_VERSION,
+            "checksum": _checksum(payload),
+            "snapshot": snapshot,
+        }
+        directory = os.path.dirname(os.path.abspath(self._path))
+        descriptor, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self._path) + ".",
+            suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self._path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        if _telemetry.enabled:
+            _telemetry.registry.counter("checkpoint.saves").inc()
+            _telemetry.tracer.event(
+                "checkpoint.save",
+                path=self._path,
+                bytes=len(payload),
+                t_sim=snapshot.get("t_sim", 0.0),
+            )
+        return self._path
+
+    def load(self) -> dict:
+        """Read, verify, and return the stored snapshot.
+
+        Raises :class:`CheckpointError` when the file is missing,
+        unparsable, carries an unknown envelope version, or fails its
+        checksum.
+        """
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read snapshot {self._path!r}: {error}"
+            ) from error
+        try:
+            envelope = json.loads(raw)
+        except ValueError as error:
+            raise CheckpointError(
+                f"snapshot {self._path!r} is not valid JSON "
+                f"(corrupt or torn write): {error}"
+            ) from error
+        if not isinstance(envelope, dict):
+            raise CheckpointError(
+                f"snapshot {self._path!r} is not a JSON object"
+            )
+        version = envelope.get("v")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"snapshot {self._path!r} has unknown schema version "
+                f"{version!r} (this reader understands "
+                f"{SNAPSHOT_SCHEMA_VERSION})"
+            )
+        snapshot = envelope.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise CheckpointError(
+                f"snapshot {self._path!r} has no snapshot payload"
+            )
+        recorded = envelope.get("checksum")
+        actual = _checksum(_canonical(snapshot))
+        if recorded != actual:
+            raise CheckpointError(
+                f"snapshot {self._path!r} failed its checksum "
+                f"(recorded {recorded!r}, computed {actual!r}) — "
+                "refusing a corrupt restore"
+            )
+        return snapshot

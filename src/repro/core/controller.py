@@ -64,6 +64,8 @@ class ControllerStats:
     recoveries: int = 0
     noop_decisions: int = 0
     replans: int = 0
+    #: Searches the watchdog aborted at their wall-clock deadline.
+    watchdog_aborts: int = 0
 
     def mean_search_seconds(self) -> float:
         """Average decision delay over all searches."""
@@ -346,6 +348,21 @@ class MistralController:
         if outcome.is_null:
             self.stats.null_decisions += 1
         self.stats.actions_issued += len(outcome.actions)
+        if outcome.deadline_aborted:
+            # The watchdog cut the search off at its wall-clock
+            # deadline: the plan is the best incumbent, not the
+            # converged optimum.  Feed the resilience ladder — repeated
+            # aborts mean the search budget no longer fits this host
+            # and the ladder should force the pruned (then noop) rung.
+            self.stats.watchdog_aborts += 1
+            if _telemetry.enabled:
+                _telemetry.tracer.event(
+                    "watchdog.search_aborted",
+                    controller=self.name,
+                    t_sim=now,
+                    actions=len(outcome.actions),
+                )
+            self.record_execution_fault(now, "watchdog")
         if self.resilience is not None:
             deadline = self.resilience.settings.deadline_fraction * window
             if outcome.decision_seconds > deadline:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
@@ -169,6 +170,17 @@ class SearchSettings:
     #: Maximum configurations per batched LQN solve when pre-warming
     #: candidate steady estimates (``LqnSolver.solve_batch``).
     batch_size: int = 64
+    #: Watchdog deadline on *measured* search wall time, in seconds.
+    #: ``None`` (the default) leaves the watchdog off and the search
+    #: path untouched.  When set, the expansion loop checks the clock
+    #: cooperatively once per expansion and executor rounds run under a
+    #: hard timer for the remaining budget; on expiry the search aborts
+    #: to its best incumbent (or the null plan) and flags the outcome
+    #: ``deadline_aborted``.  Unlike the virtual Eq. 3 accounting, this
+    #: bound is wall-clock by design — it exists to stop a *real*
+    #: runaway search — so deadline-aborted outcomes are inherently
+    #: platform-dependent and the watchdog is opt-in.
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -185,6 +197,8 @@ class SearchSettings:
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
 
 
 @dataclass
@@ -207,6 +221,11 @@ class SearchOutcome:
     #: ``wall_seconds`` (the only measured, platform-dependent fields).
     pool_wall_seconds: float = 0.0
     pool_cpu_seconds: float = 0.0
+    #: The watchdog expired mid-search and the outcome is the best
+    #: incumbent found before the deadline (still a valid, executable
+    #: plan — possibly null).  Always ``False`` when
+    #: ``SearchSettings.deadline_seconds`` is unset.
+    deadline_aborted: bool = False
 
     @property
     def is_null(self) -> bool:
@@ -725,6 +744,10 @@ class AdaptationSearch:
         # visible instead of laundered into the speedup.
         pool_wall = 0.0
         pool_cpu = 0.0
+        # Watchdog state: a deadline of None keeps every check off the
+        # hot path (single ``is not None`` test per expansion).
+        deadline = settings.deadline_seconds
+        deadline_hit = False
 
         def complete(
             actions: tuple[AdaptationAction, ...],
@@ -735,6 +758,7 @@ class AdaptationSearch:
             pruning_activated: bool,
             optimal: bool,
             early_return: bool = False,
+            deadline_aborted: bool = False,
         ) -> SearchOutcome:
             """Construct the outcome — every return path funnels through
             here so ``wall_seconds`` is always measured against the
@@ -753,10 +777,20 @@ class AdaptationSearch:
                 optimal=optimal,
                 pool_wall_seconds=pool_wall,
                 pool_cpu_seconds=pool_cpu,
+                deadline_aborted=deadline_aborted,
             )
             if _telemetry.enabled:
                 registry = _telemetry.registry
                 registry.counter("search.runs").inc()
+                if deadline_aborted:
+                    registry.counter("watchdog.deadline_aborts").inc()
+                    _telemetry.tracer.event(
+                        "watchdog.deadline_abort",
+                        deadline=deadline,
+                        wall_seconds=outcome.wall_seconds,
+                        expansions=outcome.expansions,
+                        actions=len(outcome.actions),
+                    )
                 registry.counter("search.expansions").inc(outcome.expansions)
                 registry.counter("search.children_generated").inc(generated)
                 registry.counter("search.children_pruned").inc(pruned_away)
@@ -1052,15 +1086,39 @@ class AdaptationSearch:
 
         def dispatch(method: str, configuration: Configuration, actions):
             """One executor round (score or predict), with measured
-            pool cost and permanent inline fallback on pool death."""
-            nonlocal pool_wall, pool_cpu, executor
+            pool cost, the watchdog's hard timer, and permanent inline
+            fallback on pool death.
+
+            With a deadline set, the round runs under a timeout for the
+            remaining budget; on expiry (or with no budget left at all)
+            the round yields no results and flags ``deadline_hit`` —
+            the expansion loop aborts to the best incumbent right after
+            this round, so a stuck pool cannot hold the search hostage.
+            A timeout is a *deadline* event, never a pool-death event:
+            the executor is not demoted.
+            """
+            nonlocal pool_wall, pool_cpu, executor, deadline_hit
             wall_0 = time.perf_counter()
             cpu_0 = time.process_time()
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (wall_0 - wall_start)
+                if remaining <= 0.0:
+                    deadline_hit = True
+                    return []
             try:
                 try:
+                    if remaining is None:
+                        return getattr(executor, method)(
+                            configuration, actions, workloads, wkey
+                        )
                     return getattr(executor, method)(
-                        configuration, actions, workloads, wkey
+                        configuration, actions, workloads, wkey,
+                        timeout=remaining,
                     )
+                except (TimeoutError, multiprocessing.TimeoutError):
+                    deadline_hit = True
+                    return []
                 except Exception as error:  # pool died — degrade, retry inline
                     executor = self._demote_executor(error)
                     return getattr(executor, method)(
@@ -1549,6 +1607,16 @@ class AdaptationSearch:
             if expansions >= settings.max_expansions:
                 result_vertex = best_terminal
                 break
+            if deadline is not None and (
+                time.perf_counter() - wall_start >= deadline
+            ):
+                # Cooperative watchdog check, once per expansion: the
+                # wall time can overshoot the deadline by at most one
+                # expansion round (whose executor rounds are themselves
+                # bounded by the hard timer in ``dispatch``).
+                deadline_hit = True
+                result_vertex = best_terminal
+                break
             expansions += 1
             if expand_hist is not None:
                 expand_t0 = time.perf_counter()
@@ -1710,6 +1778,12 @@ class AdaptationSearch:
             generated += len(children)
             if expand_hist is not None:
                 expand_hist.observe(time.perf_counter() - expand_t0)
+            if deadline_hit:
+                # An executor round tripped the hard timer mid-round;
+                # its partial children are discarded and the search
+                # commits to the best incumbent found in time.
+                result_vertex = best_terminal
+                break
 
             # Self-aware accounting (Algorithm 1's T, UT, UpwrT, UH).
             elapsed_search += tick
@@ -1763,7 +1837,8 @@ class AdaptationSearch:
             expansions=expansions,
             decision_seconds=decision_seconds,
             pruning_activated=pruning,
-            optimal=expansions < settings.max_expansions,
+            optimal=expansions < settings.max_expansions and not deadline_hit,
+            deadline_aborted=deadline_hit,
         )
 
     # -- action enumeration ------------------------------------------------------

@@ -21,6 +21,7 @@ for the fault/recovery contract.
 from repro.faults.degradation import DegradationLadder, DegradationSettings
 from repro.faults.injector import (
     ActionFault,
+    ControllerCrash,
     FaultConfig,
     FaultInjector,
     FaultStats,
@@ -31,6 +32,7 @@ from repro.faults.recovery import RecoveryPolicy
 
 __all__ = [
     "ActionFault",
+    "ControllerCrash",
     "DegradationLadder",
     "DegradationSettings",
     "FaultConfig",

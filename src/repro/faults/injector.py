@@ -60,6 +60,28 @@ class HostCrash:
 
 
 @dataclass(frozen=True)
+class ControllerCrash:
+    """One scripted controller crash: a controller process dies at
+    simulation ``time`` and restarts ``restart_delay`` seconds later,
+    warm-starting from its last checkpoint (see
+    :mod:`repro.checkpoint`).  ``controller`` names the victim —
+    ``"level2"`` (the only crash surface a hierarchy supports: its
+    1st-level controllers keep planning their bands standalone while
+    the 2nd level is down).
+    """
+
+    time: float
+    controller: str = "level2"
+    restart_delay: float = 240.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.restart_delay <= 0:
+            raise ValueError("restart_delay must be positive")
+
+
+@dataclass(frozen=True)
 class ScriptedActionFault:
     """Deterministically fault the Nth execution attempt of one family.
 
@@ -97,6 +119,7 @@ class FaultStats:
     host_crashes: int = 0
     samples_dropped: int = 0
     samples_stale: int = 0
+    controller_crashes: int = 0
 
     def total(self) -> int:
         """All injected faults."""
@@ -106,6 +129,7 @@ class FaultStats:
             + self.host_crashes
             + self.samples_dropped
             + self.samples_stale
+            + self.controller_crashes
         )
 
 
@@ -141,6 +165,9 @@ class FaultConfig:
     scripted: tuple[ScriptedActionFault, ...] = ()
     #: Scripted host crashes.
     host_crashes: tuple[HostCrash, ...] = ()
+    #: Scripted controller crashes (requires a failover-capable
+    #: controller, i.e. a hierarchy; see :class:`ControllerCrash`).
+    controller_crashes: tuple[ControllerCrash, ...] = ()
     #: Probability a monitoring sample never reaches the controllers.
     sample_drop_probability: float = 0.0
     #: Probability the controllers see the previous sample's workloads.
@@ -157,6 +184,9 @@ class FaultConfig:
         )
         object.__setattr__(self, "scripted", tuple(self.scripted))
         object.__setattr__(self, "host_crashes", tuple(self.host_crashes))
+        object.__setattr__(
+            self, "controller_crashes", tuple(self.controller_crashes)
+        )
         for name in (
             "default_fail_probability",
             "default_stall_probability",
@@ -203,6 +233,7 @@ class FaultConfig:
             and not any(self.action_stall_probability.values())
             and not self.scripted
             and not self.host_crashes
+            and not self.controller_crashes
             and self.sample_drop_probability == 0.0
             and self.sample_stale_probability == 0.0
         )
@@ -290,3 +321,7 @@ class FaultInjector:
     def note_host_crash(self) -> None:
         """Count one executed host crash (called by the cluster)."""
         self.stats.host_crashes += 1
+
+    def note_controller_crash(self) -> None:
+        """Count one executed controller crash (called by the testbed)."""
+        self.stats.controller_crashes += 1

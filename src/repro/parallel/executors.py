@@ -21,6 +21,16 @@ identical to the serial result: the **deterministic merge** that keeps
 parallel search outcomes bit-identical (children are consumed in
 action-enumeration order downstream, preserving heap tie-breakers).
 
+``score``/``predict`` accept an optional ``timeout`` (seconds) — the
+search watchdog's hard timer over a pool round.  The thread backing
+bounds each future's ``result`` by the remaining budget; the process
+backing uses ``map_async`` with a bounded ``get``.  A round that blows
+its budget raises the standard ``TimeoutError`` family, which the
+search maps to a deadline abort (the pool stays usable — straggling
+chunks finish in the background and are discarded).  The serial
+backing ignores the timeout: inline rounds are covered by the search's
+own cooperative per-expansion deadline check.
+
 ``make_executor`` resolves the ``"auto"`` policy: fork-backed processes
 when the machine has more than one CPU, the inline serial path
 otherwise — on a single core any pool only adds dispatch overhead on
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Optional, Sequence
 
@@ -81,6 +92,7 @@ class SerialExecutor:
         actions: Sequence[AdaptationAction],
         workloads: Mapping[str, float],
         wkey: tuple,
+        timeout: Optional[float] = None,
     ) -> list[ScoredAction]:
         return score_actions(
             self.context, configuration, actions, workloads, self._memo, wkey
@@ -92,6 +104,7 @@ class SerialExecutor:
         actions: Sequence[AdaptationAction],
         workloads: Mapping[str, float],
         wkey: tuple,
+        timeout: Optional[float] = None,
     ) -> list[PredictedCost]:
         return predict_actions(
             self.context, configuration, actions, workloads, self._memo, wkey
@@ -118,24 +131,39 @@ class ThreadExecutor:
             max_workers=workers, thread_name_prefix="repro-score"
         )
 
-    def _map(self, fn, configuration, actions, workloads, wkey) -> list:
+    def _map(
+        self, fn, configuration, actions, workloads, wkey, timeout=None
+    ) -> list:
         futures = [
             self._pool.submit(
                 fn, self.context, configuration, chunk, workloads, self._memo, wkey
             )
             for chunk in _chunks(actions, self.workers)
         ]
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
         merged: list = []
         for future in futures:  # chunk order == action order
-            merged.extend(future.result())
+            merged.extend(
+                future.result(
+                    timeout=(
+                        max(0.0, deadline - time.monotonic())
+                        if deadline is not None
+                        else None
+                    )
+                )
+            )
         return merged
 
-    def score(self, configuration, actions, workloads, wkey):
-        return self._map(score_actions, configuration, actions, workloads, wkey)
-
-    def predict(self, configuration, actions, workloads, wkey):
+    def score(self, configuration, actions, workloads, wkey, timeout=None):
         return self._map(
-            predict_actions, configuration, actions, workloads, wkey
+            score_actions, configuration, actions, workloads, wkey, timeout
+        )
+
+    def predict(self, configuration, actions, workloads, wkey, timeout=None):
+        return self._map(
+            predict_actions, configuration, actions, workloads, wkey, timeout
         )
 
     def close(self) -> None:
@@ -161,24 +189,32 @@ class ProcessExecutor:
             processes=workers
         )
 
-    def _map(self, chunk_fn, configuration, actions, workloads, wkey) -> list:
+    def _map(
+        self, chunk_fn, configuration, actions, workloads, wkey, timeout=None
+    ) -> list:
         payloads = [
             (configuration, chunk, workloads, wkey)
             for chunk in _chunks(actions, self.workers)
         ]
         merged: list = []
-        for result in self._pool.map(chunk_fn, payloads):
+        if timeout is not None:
+            chunks = self._pool.map_async(chunk_fn, payloads).get(timeout)
+        else:
+            chunks = self._pool.map(chunk_fn, payloads)
+        for result in chunks:
             merged.extend(result)
         return merged
 
-    def score(self, configuration, actions, workloads, wkey):
+    def score(self, configuration, actions, workloads, wkey, timeout=None):
         return self._map(
-            _process_score_chunk, configuration, actions, workloads, wkey
+            _process_score_chunk, configuration, actions, workloads, wkey,
+            timeout,
         )
 
-    def predict(self, configuration, actions, workloads, wkey):
+    def predict(self, configuration, actions, workloads, wkey, timeout=None):
         return self._map(
-            _process_predict_chunk, configuration, actions, workloads, wkey
+            _process_predict_chunk, configuration, actions, workloads, wkey,
+            timeout,
         )
 
     def close(self) -> None:

@@ -42,6 +42,7 @@ from repro.telemetry.runtime import (
     emit_metrics_snapshot,
     enable,
     event,
+    flush,
     register_cache,
     registry,
     span,
@@ -74,6 +75,7 @@ __all__ = [
     "enable",
     "enabled",
     "event",
+    "flush",
     "register_cache",
     "registry",
     "runtime",

@@ -83,6 +83,18 @@ def disable() -> None:
     tracer.set_sink(NullSink())
 
 
+def flush() -> None:
+    """Flush the active sink's buffered events to their destination.
+
+    Safe whether or not telemetry is enabled; the testbed calls this in
+    its teardown path so an interrupted run still leaves a complete
+    JSONL trace behind.
+    """
+    sink_flush = getattr(tracer.sink, "flush", None)
+    if sink_flush is not None:
+        sink_flush()
+
+
 def span(name: str, **attrs) -> Union[Span, object]:
     """A tracer span, or a shared no-op span while disabled."""
     if not enabled:

@@ -59,6 +59,9 @@ class NullSink:
     def emit(self, event: dict) -> None:
         pass
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -80,6 +83,9 @@ class RingBufferSink:
 
     def clear(self) -> None:
         self._buffer.clear()
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass
@@ -121,6 +127,13 @@ class JsonlFileSink:
             if self._file is None:
                 raise ValueError(f"sink for {self._path!r} is closed")
             self._file.write(line)
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (teardown safety: a run that
+        dies mid-window still leaves a complete trace on disk)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
 
     def close(self) -> None:
         with self._lock:

@@ -19,6 +19,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.apps.application import ApplicationSet
+from repro.checkpoint import CheckpointStore, capture
 from repro.cluster.cluster import Cluster
 from repro.cluster.host import HostSpec
 from repro.cluster.power_meter import PowerMeter
@@ -266,6 +267,7 @@ class Testbed:
         recovery: Optional[RecoveryPolicy] = None,
         resilience: Optional[DegradationSettings] = None,
         parallel: Optional[int] = None,
+        checkpoint: Optional[object] = None,
     ) -> RunMetrics:
         """Run one strategy over the horizon and collect metrics.
 
@@ -290,6 +292,17 @@ class Testbed:
         get the degradation ladder (tuned by ``resilience``) plus
         fault-cost charging and forced re-planning.  Without ``faults``
         the run is bit-identical to the pre-resilience testbed.
+
+        ``checkpoint`` — a :class:`repro.checkpoint.CheckpointStore` or
+        a path — persists a controller snapshot after every monitoring
+        sample and again on teardown (even when the run dies to
+        ``KeyboardInterrupt`` or an executor crash), so a restarted
+        process can warm-start from the last completed window.  For
+        hierarchies the store is also wired into the failover path:
+        scripted ``controller_crashes`` in ``faults`` take the 2nd
+        level down and restart it from the last pre-crash snapshot.
+        Without ``checkpoint`` no snapshot is ever written and the run
+        is bit-identical to the checkpoint-free testbed.
         """
         settings = self.settings
         span = horizon if horizon is not None else settings.horizon
@@ -300,6 +313,15 @@ class Testbed:
                 search.settings = replace_params(
                     search.settings, parallel_workers=parallel
                 )
+        store = None
+        if checkpoint is not None:
+            store = (
+                checkpoint
+                if hasattr(checkpoint, "save")
+                else CheckpointStore(checkpoint)
+            )
+            if hasattr(controller, "checkpoint_store"):
+                controller.checkpoint_store = store
         injector = FaultInjector(faults) if faults is not None else None
         recovery_policy: Optional[RecoveryPolicy] = None
         if injector is not None:
@@ -438,6 +460,25 @@ class Testbed:
                     crash.time, do_crash, label=f"crash:{crash.host_id}"
                 )
 
+            for crash in injector.config.controller_crashes:
+                if not hasattr(controller, "crash_controller"):
+                    raise ValueError(
+                        "controller_crashes require a failover-capable "
+                        "controller (a ControllerHierarchy); "
+                        f"{type(controller).__name__} cannot crash"
+                    )
+
+                def do_controller_crash(event=crash) -> None:
+                    controller.crash_controller(
+                        engine.now, event, fault_injector=injector
+                    )
+
+                engine.schedule_at(
+                    crash.time,
+                    do_controller_crash,
+                    label=f"controller-crash:{crash.controller}",
+                )
+
         def sample() -> None:
             now = engine.now
             workloads = self.workloads_at(now)
@@ -563,9 +604,28 @@ class Testbed:
             )
             pending.append((decisions[0], handle))
 
+        def save_snapshot() -> None:
+            store.save(
+                capture(
+                    controller,
+                    configuration=cluster.configuration,
+                    t_sim=engine.now,
+                )
+            )
+
+        def sample_and_checkpoint() -> None:
+            # Snapshot after every sample, even one that raised: the
+            # pre-sample state a restart needs is already on disk from
+            # the previous window, and a clean window must be persisted
+            # before the next one can crash.
+            try:
+                sample()
+            finally:
+                save_snapshot()
+
         engine.schedule_periodic(
             settings.monitoring_interval,
-            sample,
+            sample if store is None else sample_and_checkpoint,
             start=0.0,
             label="monitor",
         )
@@ -580,8 +640,20 @@ class Testbed:
             ):
                 engine.run_until(span)
         finally:
+            # Teardown must survive any mid-window death
+            # (KeyboardInterrupt, executor crash): release worker
+            # pools, leave a loadable snapshot behind, and flush the
+            # trace sink so the JSONL on disk is complete.
             if hasattr(controller, "shutdown_parallel"):
                 controller.shutdown_parallel()
+            if store is not None:
+                try:
+                    save_snapshot()
+                except Exception:  # noqa: BLE001 - don't mask the run's error
+                    _telemetry.event(
+                        "checkpoint.save_failed", t_sim=engine.now
+                    )
+            _telemetry.flush()
         _telemetry.emit_metrics_snapshot(strategy=strategy)
 
         for decision, handle in pending:
