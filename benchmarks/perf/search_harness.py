@@ -78,12 +78,17 @@ def bench_search(
     runs: int = 5,
     window: float = 300.0,
     parallel_workers: Optional[int] = None,
+    array_core: Optional[bool] = None,
 ) -> dict:
     """Mean/min time of one adaptation search at one system size.
 
     ``parallel_workers`` routes expansion rounds through the batched
     evaluation stage (DESIGN.md §11); outcomes are bit-identical to
     the serial path, so the column measures pure evaluation speed.
+    ``array_core`` pins the array-native expansion core (DESIGN.md §13)
+    on or off; ``None`` keeps the tree's default.  On checkouts that
+    predate a knob the request is silently dropped — those trees only
+    have the legacy path anyway.
     """
     testbed = make_testbed(app_count, seed=0)
     settings_kwargs = {"self_aware": self_aware}
@@ -100,6 +105,8 @@ def bench_search(
                 "this checkout predates the parallel evaluation stage"
             )
         settings_kwargs["parallel_workers"] = parallel_workers
+    if array_core is not None and "array_core" in _SETTINGS_FIELDS:
+        settings_kwargs["array_core"] = array_core
     search = AdaptationSearch(
         testbed.applications,
         testbed.catalog,
@@ -135,6 +142,7 @@ def bench_search(
         "self_aware": self_aware,
         "incremental": incremental,
         "parallel_workers": parallel_workers,
+        "array_core": array_core,
         "runs": runs,
         "mean_search_seconds": sum(wall) / runs,
         "min_search_seconds": min(wall),
@@ -281,6 +289,7 @@ def run_suite(
     runs: int = 5,
     incremental_only: bool = False,
     workers: Optional[int] = None,
+    metrics_size: Optional[int] = None,
 ) -> dict:
     """The full benchmark payload: searches, solver throughput, and an
     instrumented metrics capture.
@@ -289,8 +298,14 @@ def run_suite(
     variants — useful for a quick look at the current numbers.
     ``workers`` adds a ``self_aware_parallel`` column per scenario —
     measured back to back with the serial ``self_aware`` column so the
-    two are comparable within one run of the suite.
+    two are comparable within one run of the suite.  On trees with the
+    array-native core a ``self_aware_scalar`` column (array core off,
+    no workers — the legacy object-at-a-time round) rides along as the
+    reference :func:`summarize_parallel` divides by.  ``metrics_size``
+    picks the scenario the instrumented telemetry pass runs at
+    (default: the smallest benchmarked size).
     """
+    has_array_core = "array_core" in _SETTINGS_FIELDS
     searches: dict[str, dict] = {}
     for app_count in sizes:
         scenario: dict[str, dict] = {}
@@ -299,6 +314,14 @@ def run_suite(
             scenario[label] = bench_search(
                 app_count, self_aware, incremental=True, runs=runs
             )
+            if self_aware and has_array_core:
+                scenario["self_aware_scalar"] = bench_search(
+                    app_count,
+                    self_aware,
+                    incremental=True,
+                    runs=runs,
+                    array_core=False,
+                )
             if self_aware and workers is not None:
                 scenario["self_aware_parallel"] = bench_search(
                     app_count,
@@ -318,27 +341,36 @@ def run_suite(
     return {
         "search": searches,
         "solver": solver,
-        "metrics": capture_metrics(app_count=min(sizes)),
+        "metrics": capture_metrics(
+            app_count=metrics_size if metrics_size is not None else min(sizes)
+        ),
     }
 
 
 def summarize_parallel(
     search: Mapping[str, Mapping[str, Mapping[str, float]]],
 ) -> dict:
-    """Serial / parallel mean-search-seconds ratio per scenario.
+    """Scalar / parallel mean-search-seconds ratio per scenario.
 
-    Both columns come from the same suite run (same machine state,
-    measured back to back), so the ratio is the parallel evaluation
-    stage's speedup on identical work — the searches themselves are
-    bit-identical.
+    The numerator is the ``self_aware_scalar`` column (legacy
+    object-at-a-time rounds, no workers) when present, else the plain
+    ``self_aware`` column; the denominator is ``self_aware_parallel``
+    (array-native rounds dispatched to the worker pool).  Both come
+    from the same suite run (same machine state, measured back to
+    back), so the ratio is the evaluation stage's speedup on identical
+    work — the searches themselves are bit-identical.
     """
     speedups: dict[str, Optional[float]] = {}
     for scenario, variants in search.items():
-        serial = variants.get("self_aware", {}).get("mean_search_seconds")
+        reference = variants.get(
+            "self_aware_scalar", variants.get("self_aware", {})
+        ).get("mean_search_seconds")
         parallel = variants.get("self_aware_parallel", {}).get(
             "mean_search_seconds"
         )
-        speedups[scenario] = (serial / parallel) if serial and parallel else None
+        speedups[scenario] = (
+            (reference / parallel) if reference and parallel else None
+        )
     return speedups
 
 

@@ -45,7 +45,8 @@ def _bootstrap(src: Path) -> None:
 
 
 def _measure(src: Path, sizes: tuple[int, ...], runs: int,
-             incremental_only: bool, workers: int | None = None) -> dict:
+             incremental_only: bool, workers: int | None = None,
+             metrics_size: int | None = None) -> dict:
     _bootstrap(src)
     for name in [
         name for name in sys.modules if name.startswith("search_harness")
@@ -58,6 +59,8 @@ def _measure(src: Path, sizes: tuple[int, ...], runs: int,
         # Baseline checkouts predate the parallel column; only the
         # current tree is asked for it.
         kwargs["workers"] = workers
+    if metrics_size is not None:
+        kwargs["metrics_size"] = metrics_size
     return search_harness.run_suite(
         sizes=sizes, runs=runs, incremental_only=incremental_only, **kwargs
     )
@@ -82,29 +85,37 @@ def _write_parallel_block(payload: dict, workers: int) -> None:
     so ``scripts/build_experiments_md.py`` can fold it into EXPERIMENTS.md."""
     meta = payload["meta"]
     lines = [
-        "Parallel evaluation stage — self-aware search, serial vs "
-        f"--workers {workers}",
+        "Evaluation stage — self-aware search, scalar rounds vs "
+        f"array rounds with --workers {workers}",
         f"commit {meta['commit']}, python {meta['python']}, "
         f"{meta['runs_per_scenario']} runs/scenario "
         "(mean_search_seconds, wall)",
         "",
-        f"{'scenario':<10} {'serial [s]':>11} {'parallel [s]':>13} "
+        f"{'scenario':<10} {'scalar [s]':>11} {'parallel [s]':>13} "
         f"{'speedup':>8}",
     ]
     for scenario, ratio in payload["parallel_speedup"].items():
+        if ratio is None:
+            continue
         entry = payload["current"]["search"][scenario]
-        serial = entry["self_aware"]["mean_search_seconds"]
+        reference = entry.get("self_aware_scalar", entry["self_aware"])[
+            "mean_search_seconds"
+        ]
         parallel = entry["self_aware_parallel"]["mean_search_seconds"]
         lines.append(
-            f"{scenario:<10} {serial:>11.4f} {parallel:>13.4f} "
+            f"{scenario:<10} {reference:>11.4f} {parallel:>13.4f} "
             f"{ratio:>7.2f}x"
         )
     lines += [
         "",
-        "Outcomes are bit-identical across columns (DESIGN.md §11); "
+        "Outcomes are bit-identical across columns (DESIGN.md §11/§13); "
         "the ratio is pure wall-clock.",
-        "Small scenarios amortize the batched stage less; "
-        "single-core machines measure the batch path only.",
+        "The scalar column runs the legacy object-at-a-time rounds "
+        "(MISTRAL_ARRAY_CORE=0, no workers);",
+        "the parallel column runs the array-native rounds dispatched "
+        "to the worker pool.",
+        "Small scenarios amortize the vectorized stage less; "
+        "single-core machines resolve the pool to the inline path.",
     ]
     results = REPO_ROOT / "results"
     results.mkdir(exist_ok=True)
@@ -150,6 +161,13 @@ def main(argv: list[str] | None = None) -> int:
         "column times the batched evaluation stage)",
     )
     parser.add_argument(
+        "--metrics-size",
+        type=int,
+        default=None,
+        help="app count the instrumented telemetry pass runs at "
+        "(default: the smallest size in --sizes)",
+    )
+    parser.add_argument(
         "--allow-dirty",
         action="store_true",
         help="permit recording from a tree with uncommitted changes "
@@ -160,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--runs must be >= 1")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.metrics_size is not None and args.metrics_size not in args.sizes:
+        parser.error("--metrics-size must be one of --sizes")
     sizes = tuple(args.sizes)
 
     dirty = _git_dirty()
@@ -177,7 +197,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"measuring current tree ({REPO_ROOT / 'src'}) ...", flush=True)
     current = _measure(
         REPO_ROOT / "src", sizes, args.runs, args.skip_full_eval,
-        workers=args.workers,
+        workers=args.workers, metrics_size=args.metrics_size,
     )
 
     if args.baseline_src is not None:

@@ -159,6 +159,10 @@ def _ratio(hits: int, misses: int) -> float:
     return hits / total if total else 0.0
 
 
+def _ratio_or_zero(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
 def efficiency_rollup(events: list[dict]) -> dict:
     """Cache/solver efficiency from the last ``metrics.snapshot`` event."""
     snapshots = [
@@ -205,6 +209,17 @@ def efficiency_rollup(events: list[dict]) -> dict:
         "perf_pwr": {
             "optimizations": counters.get("perf_pwr.optimizations", 0),
             "memo_hits": counters.get("perf_pwr.memo_hits", 0),
+        },
+        "batch": {
+            "batch_solves": counters.get("solver.batch_solves", 0),
+            "batch_configs": counters.get("solver.batch_configs", 0),
+            "configs_per_batch": _ratio_or_zero(
+                counters.get("solver.batch_configs", 0),
+                counters.get("solver.batch_solves", 0),
+            ),
+            "array_rounds": counters.get("solver.array_rounds", 0),
+            "shm_rounds": counters.get("parallel.shm_rounds", 0),
+            "shm_bytes": counters.get("parallel.shm_bytes", 0),
         },
         "counters": counters,
         "gauges": metrics.get("gauges", {}),
@@ -553,6 +568,19 @@ def render(report: dict) -> str:
             f"perf-pwr: {perf_pwr['optimizations']} optimizations, "
             f"{perf_pwr['memo_hits']} memo hits"
         )
+        batch = efficiency.get("batch", {})
+        if any(batch.values()):
+            out.append("\n== solver/batch ==")
+            out.append(
+                f"batched tier solves: {batch['batch_solves']} calls over "
+                f"{batch['batch_configs']} configurations "
+                f"({batch['configs_per_batch']:.1f} configs/batch)"
+            )
+            out.append(
+                f"array rounds: {batch['array_rounds']}  "
+                f"shm rounds: {batch['shm_rounds']} "
+                f"({batch['shm_bytes']} delta bytes published)"
+            )
 
     resilience = report.get("resilience", {})
     if resilience:

@@ -14,9 +14,27 @@ rules are *intermediate*: legal as search vertices, illegal to deploy.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def array_core_enabled(default: bool = True) -> bool:
+    """Whether the array-native expansion core is enabled.
+
+    Consults ``MISTRAL_ARRAY_CORE``: unset keeps the default (on);
+    ``0``/``false``/``off``/``no`` disable it, anything else enables.
+    The array core is bit-identical to the scalar path by contract
+    (DESIGN.md §13), so the switch trades speed only — it exists for
+    A/B verification and as an operational escape hatch.
+    """
+    value = os.environ.get("MISTRAL_ARRAY_CORE")
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "off", "no", "")
 
 
 @dataclass(frozen=True)
@@ -444,3 +462,114 @@ class Configuration:
         return Configuration._from_sorted(
             self._items, self._powered - {host_id}, self._keys
         )
+
+
+# ----------------------------------------------------------------------
+# numeric configuration codec (DESIGN.md §13)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigArray:
+    """A :class:`Configuration` as three flat numpy arrays.
+
+    Indexed over a fixed (vm universe, host universe) pinned by the
+    :class:`ConfigCodec` that produced it:
+
+    ``host_index``
+        ``int16[n_vms]`` — index into the codec's host universe, or
+        ``-1`` for a dormant VM.
+    ``cpu_caps``
+        ``float64[n_vms]`` — the exact cap float of each placed VM
+        (``0.0`` for dormant ones).  Caps are always positive, so the
+        dormant sentinel is unambiguous and the raw bytes of the two
+        rows identify the configuration injectively.
+    ``powered``
+        ``uint8[n_hosts]`` — 1 where the host is powered on.
+    """
+
+    host_index: np.ndarray
+    cpu_caps: np.ndarray
+    powered: np.ndarray
+
+    def key(self) -> bytes:
+        """Injective byte key (see :meth:`ConfigCodec.encode_key`)."""
+        return (
+            self.host_index.tobytes()
+            + self.cpu_caps.tobytes()
+            + self.powered.tobytes()
+        )
+
+
+class ConfigCodec:
+    """Bit-exact two-way map between ``Configuration`` and ``ConfigArray``.
+
+    The codec pins a VM universe (catalog order) and a host universe
+    (testbed order); every encode/decode is relative to those.  Decoding
+    an encoded configuration returns an object that compares, hashes and
+    pickles identically to the original — caps are carried as the very
+    same float64 bits, never re-derived — which is what lets the array
+    expansion core and the shared-memory process channel substitute
+    arrays for objects without perturbing a single search decision.
+
+    ``encode`` raises ``KeyError`` when the configuration mentions a VM
+    or host outside the pinned universes; callers use that as the signal
+    to fall back to the object path.
+    """
+
+    __slots__ = ("vm_ids", "host_ids", "vm_index", "host_index")
+
+    def __init__(
+        self, vm_ids: Sequence[str], host_ids: Sequence[str]
+    ) -> None:
+        self.vm_ids = tuple(vm_ids)
+        self.host_ids = tuple(host_ids)
+        if len(self.vm_ids) >= 2**15:
+            raise ValueError("int16 host_index row caps the VM universe at 32767")
+        self.vm_index = {vm_id: i for i, vm_id in enumerate(self.vm_ids)}
+        self.host_index = {host: i for i, host in enumerate(self.host_ids)}
+        if len(self.vm_index) != len(self.vm_ids):
+            raise ValueError("duplicate VM ids in codec universe")
+        if len(self.host_index) != len(self.host_ids):
+            raise ValueError("duplicate host ids in codec universe")
+
+    def encode(self, configuration: Configuration) -> ConfigArray:
+        """Numeric image of ``configuration`` (KeyError if out of universe)."""
+        host_row = np.full(len(self.vm_ids), -1, dtype=np.int16)
+        caps_row = np.zeros(len(self.vm_ids), dtype=np.float64)
+        powered_row = np.zeros(len(self.host_ids), dtype=np.uint8)
+        vm_index = self.vm_index
+        host_index = self.host_index
+        for vm_id, placement in configuration.placement_items():
+            slot = vm_index[vm_id]
+            host_row[slot] = host_index[placement.host_id]
+            caps_row[slot] = placement.cpu_cap
+        for host in configuration.powered_hosts:
+            powered_row[host_index[host]] = 1
+        return ConfigArray(host_row, caps_row, powered_row)
+
+    def decode(self, arrays: ConfigArray) -> Configuration:
+        """Rebuild the ``Configuration`` an encode came from, bit-exactly."""
+        host_ids = self.host_ids
+        placements = {}
+        host_row = arrays.host_index
+        caps_row = arrays.cpu_caps
+        for slot in np.flatnonzero(host_row >= 0):
+            placements[self.vm_ids[slot]] = Placement(
+                host_ids[host_row[slot]], float(caps_row[slot])
+            )
+        powered = frozenset(
+            host_ids[slot] for slot in np.flatnonzero(arrays.powered)
+        )
+        return Configuration(placements, powered)
+
+    def encode_key(self, configuration: Configuration) -> bytes:
+        """Injective byte key for deduplication.
+
+        Concatenates the raw bytes of the three rows.  Injectivity on
+        valid configurations: the host row fixes the placement pattern,
+        caps are positive floats (no ``-0.0``/NaN ambiguity), and the
+        powered row is 0/1 — distinct configurations within the codec's
+        universes always produce distinct keys.
+        """
+        return self.encode(configuration).key()

@@ -52,6 +52,16 @@ from repro.core.config import (
     ConstraintLimits,
     Placement,
     VmCatalog,
+    array_core_enabled,
+)
+from repro.core.rounds import (
+    ArrayBasis,
+    ArrayStatics,
+    RoundPlan,
+    _togo_vm_term,
+    add_block,
+    replica_tier_counts,
+    vm_block,
 )
 from repro.core.estimator import SteadyEstimate, UtilityEstimator
 from repro.core.perf_pwr import PerfPwrOptimizer, PerfPwrResult
@@ -181,6 +191,14 @@ class SearchSettings:
     #: runaway search — so deadline-aborted outcomes are inherently
     #: platform-dependent and the watchdog is opt-in.
     deadline_seconds: Optional[float] = None
+    #: Array-native expansion core (DESIGN.md §13): encode each round's
+    #: actions as numeric column blocks and run ranking, constraint
+    #: filtering and child scoring as matrix kernels, materializing
+    #: ``Configuration`` objects only for candidate children and popped
+    #: vertices.  ``None`` consults the ``MISTRAL_ARRAY_CORE``
+    #: environment variable (on unless set falsy).  Requires
+    #: ``incremental``; outcomes are bit-identical to the scalar path.
+    array_core: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -233,11 +251,13 @@ class SearchOutcome:
         return not self.actions
 
 
-@dataclass
+@dataclass(slots=True)
 class _Vertex:
-    """One search vertex."""
+    """One search vertex (slotted: one search allocates tens of
+    thousands of these, and the per-instance dict is pure overhead)."""
 
-    configuration: Configuration
+    #: None only for array-core lazy children (see ``pending_config``).
+    configuration: Optional[Configuration]
     actions: tuple[AdaptationAction, ...]
     accrued: float  # sum of d(a) * transient utility rate
     elapsed: float  # sum of action durations D
@@ -256,6 +276,16 @@ class _Vertex:
     #: vertex was derived from and the VMs its action changed.
     parent_configuration: Optional[Configuration] = None
     changed_vms: frozenset[str] = frozenset()
+    #: Array-core dedup key (the codec's byte image of the
+    #: configuration; None on the scalar path).  Byte equality is
+    #: configuration equality, so the open-set bookkeeping can run on
+    #: keys while ``configuration`` stays lazy.
+    key: Optional[bytes] = None
+    #: Array-core lazy configuration: ``(parent_configuration, delta)``
+    #: materialized only if the vertex is ever popped for expansion
+    #: (``configuration`` is None until then; candidates — whose
+    #: terminal twins need the real object — are built eagerly).
+    pending_config: Optional[tuple] = None
 
 
 #: Sentinel distinguishing "no source-host edit" from "source host
@@ -265,32 +295,6 @@ _ABSENT = object()
 #: Bound on the enumeration sublist cache (an AdaptationSearch reused
 #: across many searches would otherwise accumulate stale keys forever).
 _ROUND_ACTION_CACHE_LIMIT = 50_000
-
-
-def _togo_vm_term(
-    here: Optional[Placement],
-    there: Optional[Placement],
-    tier: str,
-    durations: Mapping[tuple[str, str], float],
-    step: float,
-    min_cap: float,
-) -> float:
-    """Adaptation seconds moving one VM from ``here`` to its ideal
-    ``there`` (shared by the full and incremental cost-to-go paths so
-    both accumulate bit-identical terms)."""
-    if here is None and there is None:
-        return 0.0
-    seconds = 0.0
-    if here is None:
-        seconds += durations.get(("add_replica", tier), 40.0)
-        seconds += abs(there.cpu_cap - min_cap) / step
-    elif there is None:
-        seconds += durations.get(("remove_replica", tier), 25.0)
-    else:
-        if here.host_id != there.host_id:
-            seconds += durations.get(("migrate", tier), 25.0)
-        seconds += abs(here.cpu_cap - there.cpu_cap) / step
-    return seconds
 
 
 @dataclass
@@ -617,6 +621,34 @@ class AdaptationSearch:
         self._round_action_cache: dict[tuple, list] = {}
         self._powered_order: dict[frozenset, list] = {}
         self._tier_limits: dict[tuple[str, str], tuple[int, int]] = {}
+        # Round-context interning: the (allowed kinds, powered order)
+        # pair is constant within an enumeration round, so hashing it
+        # once into a small integer keeps the per-VM sublist keys
+        # cheap (flat tuples of scalars instead of nested tuples).
+        self._ctx_tokens: dict[tuple, int] = {}
+        # vm_id -> (app_name, tier_name), static for the catalog.
+        self._vm_tier_key: dict[str, tuple[str, str]] = {}
+        # Array expansion core (DESIGN.md §13): the numeric codec and
+        # constants, plus per-sublist ActionBlocks cached under the
+        # same keys as ``_round_action_cache``.
+        self._array_statics: Optional[ArrayStatics] = None
+        self._round_block_cache: dict[tuple, object] = {}
+        # Concatenated plans keyed by their block identity tuple: the
+        # same (cached) block list recurs across expansion rounds, and
+        # a plan is a pure function of its blocks.  Plans hold strong
+        # block references, so ids stay unambiguous while cached.
+        self._round_plan_cache: dict[tuple, RoundPlan] = {}
+        # Cost-prediction value memos for the array rounds (DESIGN.md
+        # §13).  ``_action_facts`` caches each action's semantic facts
+        # (cost key, primary app, step count) by id — values pin the
+        # action object, keeping ids unambiguous.  ``_predict_values``
+        # memoizes PredictedCost by *value* key: every input
+        # ``CostManager.predict`` reads (facts, the primary app's
+        # workload rate, the affected hosts' app sets) is in the key,
+        # so equal keys give float-identical costs across actions,
+        # searches, and workload vectors.
+        self._action_facts: dict = {}
+        self._predict_values: dict = {}
         # Parallel evaluation stage (lazily built, reused across
         # searches; see DESIGN.md §11).
         self._executor = None
@@ -630,7 +662,19 @@ class AdaptationSearch:
     # -- executor lifecycle ---------------------------------------------------
 
     def _score_context(self) -> ScoreContext:
-        return ScoreContext(self.catalog, self.limits, self.cost_manager)
+        return ScoreContext(
+            self.catalog, self.limits, self.cost_manager, tuple(self.host_ids)
+        )
+
+    def _ensure_array_statics(self) -> ArrayStatics:
+        """Codec + numeric constants, built once per search instance
+        (raises ``ValueError`` for universes the codec cannot hold —
+        the caller then runs the scalar path)."""
+        statics = self._array_statics
+        if statics is None:
+            statics = ArrayStatics(self.catalog, self.limits, self.host_ids)
+            self._array_statics = statics
+        return statics
 
     def _ensure_executor(self, settings: SearchSettings, workers: int):
         """The executor for this (kind, workers) request, cached across
@@ -724,6 +768,16 @@ class AdaptationSearch:
         # state, so the full (non-incremental) baseline always runs the
         # legacy loop.
         parallel_on = workers is not None and incremental
+        # Array expansion core: like the batch path it scores children
+        # from the delta state, so it also requires incremental.  When
+        # both are on, rounds flow through the array kernels and the
+        # executor only runs the cost-prediction stage.
+        array_core = (
+            settings.array_core
+            if settings.array_core is not None
+            else array_core_enabled()
+        )
+        array_on = incremental and array_core
         wkey = self.estimator.workload_key(workloads)
         ideal = self.perf_pwr.optimize(workloads)
         if self.scope_hosts is not None:
@@ -864,6 +918,26 @@ class AdaptationSearch:
                 action_durations,
             )
 
+        # Array-core setup: every configuration the search can reach is
+        # derived from the roots below by in-universe actions, so
+        # encoding the roots up front proves ``encode_key`` cannot fail
+        # later (out-of-universe or oversized systems degrade to the
+        # scalar path here, never mid-search).
+        abasis: Optional[ArrayBasis] = None
+        codec = None
+        if array_on:
+            try:
+                statics = self._ensure_array_statics()
+                statics.codec.encode(current)
+                statics.codec.encode(ideal.configuration)
+                for alternative in ideal.alternatives:
+                    statics.codec.encode(alternative.configuration)
+            except (ValueError, KeyError):
+                array_on = False
+            else:
+                codec = statics.codec
+                abasis = ArrayBasis(statics, basis)
+
         def togo_penalty(vertex: _Vertex) -> float:
             if basis is not None:
                 seconds = basis.togo_seconds(
@@ -916,12 +990,19 @@ class AdaptationSearch:
 
         counter = itertools.count()
         heap: list[tuple[float, int, _Vertex]] = []
-        best_priority: dict[tuple[Configuration, bool], float] = {}
+        # Keyed by the codec's byte image on the array path (byte
+        # equality == configuration equality, and bytes hash much
+        # faster), by the configuration itself on the scalar path;
+        # within one search every vertex uses the same scheme.
+        best_priority: dict[tuple, float] = {}
         best_terminal: Optional[_Vertex] = None
 
         def push(vertex: _Vertex) -> None:
             nonlocal best_terminal
-            key = (vertex.configuration, vertex.terminal)
+            key = (
+                vertex.key if vertex.key is not None else vertex.configuration,
+                vertex.terminal,
+            )
             known = best_priority.get(key)
             if known is not None and known >= vertex.priority - 1e-12:
                 return
@@ -1042,6 +1123,11 @@ class AdaptationSearch:
                 state=child_state,
                 parent_configuration=parent.configuration,
                 changed_vms=changed,
+                key=(
+                    codec.encode_key(new_config)
+                    if codec is not None
+                    else None
+                ),
             )
             child.utility = bound(child)
             finalize(child)
@@ -1062,6 +1148,7 @@ class AdaptationSearch:
                     state=vertex.state,
                     parent_configuration=vertex.parent_configuration,
                     changed_vms=vertex.changed_vms,
+                    key=vertex.key,
                 )
                 terminal.utility = candidate_value(terminal)
                 finalize(terminal)
@@ -1077,9 +1164,23 @@ class AdaptationSearch:
         # Point utility-rate lookups memoized by input value; scoped to
         # this search because they fix (workloads, utility model).
         util_memo: dict = {}
-        if parallel_on:
-            executor = self._ensure_executor(settings, workers)
-            if _telemetry.enabled:
+        # Sparse rt-delta views of PredictedCost objects for the array
+        # rounds, keyed by id(); each entry holds the object itself so
+        # ids cannot be recycled while the memo lives.  Scoped with
+        # ``util_memo``: entries bake in this search's workload vector.
+        workload_items = list(workloads.items())
+        workload_pos = {
+            app: (i, rate) for i, (app, rate) in enumerate(workload_items)
+        }
+        transient_sparse: dict = {}
+        if parallel_on or array_on:
+            # The array core routes cost prediction through the same
+            # executor interface; without a worker request it resolves
+            # to the inline serial executor.
+            executor = self._ensure_executor(
+                settings, workers if workers is not None else 1
+            )
+            if _telemetry.enabled and parallel_on:
                 registry = _telemetry.registry
                 registry.counter("parallel.searches").inc()
                 registry.gauge("parallel.workers").set(executor.workers)
@@ -1145,6 +1246,124 @@ class AdaptationSearch:
                         registry.gauge("parallel.pool_utilization").set(
                             cpu_dt / (wall_dt * executor.workers)
                         )
+
+        # Search-level prediction memo for array rounds.  A prediction
+        # is a pure function of (workloads, action, affected context) —
+        # see ``parallel.batch.predict_key`` — so within one search
+        # (fixed workloads) it can be keyed by the action's identity
+        # plus, for placement actions, the affected hosts' app sets.
+        # Hits skip the executor round-trip entirely; only misses are
+        # dispatched (and still land in the executor's own memo), which
+        # keeps every value float-identical to the undispatched path.
+        # Values hold the action object, pinning its ``id`` for the
+        # memo's lifetime.
+        predict_fast: dict = {}
+        _NO_APPS: frozenset = frozenset()
+
+        def round_host_apps(configuration: Configuration) -> dict:
+            """Host id -> frozenset of app names placed on it (one
+            O(placements) pass per round; absent hosts are empty)."""
+            get = self.catalog.get
+            collected: dict[str, set] = {}
+            for vm_id, placement in configuration.placement_items():
+                collected.setdefault(placement.host_id, set()).add(
+                    get(vm_id).app_name
+                )
+            return {host: frozenset(apps) for host, apps in collected.items()}
+
+        def predict_round(configuration: Configuration, actions) -> list:
+            """Predictions for one array round's selected (pre-validated)
+            actions, resolving memo hits locally and dispatching only
+            the misses.  Returns ``[]`` when the dispatch of the misses
+            aborts on the deadline, mirroring a fully aborted round."""
+            host_apps = round_host_apps(configuration)
+            apps_get = host_apps.get
+            placement_of = configuration.placement_of
+            fast_get = predict_fast.get
+            facts = self._action_facts
+            facts_get = facts.get
+            values = self._predict_values
+            values_get = values.get
+            catalog_get = self.catalog.get
+            results: list = [None] * len(actions)
+            missing: list = []
+            miss_slots: list = []
+            for i, action in enumerate(actions):
+                kind = type(action)
+                if kind is MigrateVm:
+                    key = (
+                        id(action),
+                        apps_get(placement_of(action.vm_id).host_id, _NO_APPS),
+                        apps_get(action.target_host, _NO_APPS),
+                    )
+                elif kind is AddReplica:
+                    key = (id(action), apps_get(action.target_host, _NO_APPS))
+                elif kind is RemoveReplica:
+                    key = (
+                        id(action),
+                        apps_get(placement_of(action.vm_id).host_id, _NO_APPS),
+                    )
+                else:
+                    # Cap changes, power toggles, null: the affected
+                    # set is a constant of the action itself.
+                    key = id(action)
+                entry = fast_get(key)
+                if entry is not None:
+                    results[i] = entry[1]
+                    continue
+                # L2: value-keyed memo.  Same facts + rate + app sets
+                # ⇒ ``CostManager.predict`` reads identical inputs ⇒
+                # identical cost — e.g. sibling cap steps and
+                # same-shape migrations collapse to one prediction.
+                known = facts_get(id(action))
+                if known is None:
+                    vm_id = getattr(action, "vm_id", None)
+                    primary = (
+                        catalog_get(vm_id).app_name
+                        if vm_id is not None
+                        else getattr(action, "app_name", None)
+                    )
+                    if len(facts) >= _ROUND_ACTION_CACHE_LIMIT:
+                        facts.clear()
+                    facts[id(action)] = known = (
+                        action,
+                        action.cost_key(self.catalog),
+                        primary,
+                        getattr(action, "count", 1),
+                    )
+                _, cost_key, primary, count = known
+                rate = (
+                    workloads.get(primary, 0.0)
+                    if primary is not None
+                    else 0.0
+                )
+                # Tuple fast keys carry the affected hosts' app sets in
+                # slots 1+; the two vkey shapes (class-led vs
+                # tuple-led) never collide.
+                if type(key) is tuple:
+                    vkey = (cost_key, primary, count, rate) + key[1:]
+                else:
+                    vkey = (kind, cost_key, primary, count, rate)
+                value = values_get(vkey)
+                if value is not None:
+                    results[i] = value
+                    predict_fast[key] = (action, value)
+                    continue
+                missing.append(action)
+                miss_slots.append((i, key, vkey, action))
+            if missing:
+                predicted_list = dispatch("predict", configuration, missing)
+                if len(predicted_list) != len(missing):
+                    return []
+                if len(values) >= _ROUND_ACTION_CACHE_LIMIT:
+                    values.clear()
+                for (i, key, vkey, action), predicted in zip(
+                    miss_slots, predicted_list
+                ):
+                    results[i] = predicted
+                    predict_fast[key] = (action, predicted)
+                    values[vkey] = predicted
+            return results
 
         def vertex_state(vertex: _Vertex) -> _VertexState:
             """Materialize a batch-built vertex's lazy state on first
@@ -1516,7 +1735,368 @@ class AdaptationSearch:
                 children.append(child)
             return children
 
-        def warm_candidates(parent: _Vertex, children: list[_Vertex]) -> None:
+        def build_children_array(
+            vertex: _Vertex,
+            state: _VertexState,
+            parent_steady: SteadyEstimate,
+            plan: RoundPlan,
+            values: tuple,
+            sel: np.ndarray,
+            actions_sel: list,
+            predictions: list,
+            dist_sel: Optional[np.ndarray],
+            parent_rows,
+        ) -> list:
+            """Children for one array round — the same order and float
+            values as ``build_children_batched``, with the per-child
+            scatter loops replaced by the plan's precomputed columns.
+
+            Beyond the batched path, non-candidate children stay lazy
+            all the way down: each is returned as a flat payload tuple
+            (codec byte key, priority/utility scalars, action, delta,
+            shared lineage) — no ``_Vertex``, no ``Configuration`` —
+            and ``materialize_lazy`` builds the real vertex only if the
+            heap ever pops it (~1% of pushes are).  Dedup runs on the
+            byte keys.  Candidates (and null/host-power actions)
+            materialize eagerly — their terminal twins estimate steady
+            utility from the real object.
+            """
+            if sel.size == 0 or not predictions:
+                return []
+            n_on = len(basis.ideal_powered - vertex.configuration.powered_hosts)
+            n_off = len(
+                vertex.configuration.powered_hosts - basis.ideal_powered
+            )
+            dist_list, togo_list = abasis.sel_reductions(
+                state, plan, sel, values, dist_sel, n_on, n_off
+            )
+            # Kernel-versus-scalar dispatch: below ~2 dozen children the
+            # integer-replay kernel's fixed numpy overhead loses to the
+            # legacy per-child check (both produce the same verdicts).
+            cand_vec = (
+                abasis.candidacy(state, plan, sel, parent_rows)
+                if sel.size >= 24
+                else None
+            )
+            cand_list = cand_vec.tolist() if cand_vec is not None else None
+            keys = abasis.child_keys(plan, sel, parent_rows, vertex.key)
+            remaining_window = max(0.0, window - vertex.elapsed)
+            transient_memo: dict = {}
+            children: list[_Vertex] = []
+            parent_config = vertex.configuration
+            parent_actions = vertex.actions
+            parent_accrued = vertex.accrued
+            parent_elapsed = vertex.elapsed
+            config_replace = parent_config.replace
+            config_remove = parent_config.remove
+            memo_get = transient_memo.get
+            guidance_weight = settings.guidance_weight
+            deltas = plan.deltas
+            # Transient rates, unrolled (estimator.transient_rates with
+            # the same ``util_memo``): the parent's base perf rate is a
+            # fixed left-to-right sum over the workload order, so the
+            # per-child sum restarts from the prefix before the first
+            # app the prediction perturbs and replays the identical
+            # float additions from there — bit-identical by
+            # construction, without the full per-app loop for the
+            # common sparse ``rt_delta``.
+            app_rates = parent_steady.app_perf_rates
+            base_rts = parent_steady.response_times
+            base_power_rate = parent_steady.power_rate
+            parent_watts = parent_steady.watts
+            n_apps = len(workload_items)
+            base_rates = [0.0] * n_apps
+            prefix = [0.0] * (n_apps + 1)
+            acc = 0.0
+            for i, (app, _rate) in enumerate(workload_items):
+                prefix[i] = acc
+                rate = app_rates[app]
+                base_rates[i] = rate
+                acc = acc + rate
+            prefix[n_apps] = acc
+            util_get = util_memo.get
+            sparse_get = transient_sparse.get
+            pos_get = workload_pos.get
+            perf_rate_of = self.estimator.utility.perf_utility_rate
+            power_rate_of = self.estimator.utility.power_utility_rate
+            # One shared lineage tuple per round keeps each lazy payload
+            # flat (see ``materialize_lazy`` for the slot layout).
+            lineage = (parent_config, parent_actions, state)
+            children_append = children.append
+            # Null/host-power child keys splice the parent's key bytes
+            # (a power toggle edits exactly one powered-flag byte; a
+            # null action edits nothing) instead of re-encoding the
+            # applied configuration — identical bytes by the codec's
+            # layout.
+            parent_key = vertex.key
+            powered_base = 10 * len(codec.vm_ids)
+            host_slot = codec.host_index
+            # Pass 1 — transient (perf + power) utility rates and
+            # durations per child, through the per-round memo
+            # (predictions are interned, so distinct ids are few).
+            n_sel = len(predictions)
+            dur_l = [0.0] * n_sel
+            trate_l = [0.0] * n_sel
+            for j, predicted in enumerate(predictions):
+                tkey = id(predicted)
+                rates = memo_get(tkey)
+                if rates is None:
+                    sparse = sparse_get(tkey)
+                    if sparse is None:
+                        # Walk the (small) rt_delta dict, not the whole
+                        # workload vector; sorting by position restores
+                        # the workload-order iteration the legacy loop
+                        # uses (positions are unique per app).
+                        touched = []
+                        for app, rt_d in predicted.rt_delta.items():
+                            if rt_d != 0.0:
+                                pos = pos_get(app)
+                                if pos is not None:
+                                    touched.append(
+                                        (pos[0], app, pos[1], rt_d)
+                                    )
+                        touched.sort()
+                        transient_sparse[tkey] = sparse = (
+                            predicted, tuple(touched),
+                        )
+                    entries = sparse[1]
+                    if not entries:
+                        perf_rate = prefix[n_apps]
+                    else:
+                        k = entries[0][0]
+                        acc = prefix[k]
+                        for pos, app, rate, rt_d in entries:
+                            while k < pos:
+                                acc = acc + base_rates[k]
+                                k += 1
+                            rt_after = base_rts[app] + rt_d
+                            mkey = (app, rt_after)
+                            value = util_get(mkey)
+                            if value is None:
+                                value = perf_rate_of(app, rate, rt_after)
+                                util_memo[mkey] = value
+                            acc = acc + value
+                            k += 1
+                        while k < n_apps:
+                            acc = acc + base_rates[k]
+                            k += 1
+                        perf_rate = acc
+                    power_delta = predicted.power_delta_watts
+                    if power_delta == 0.0:
+                        power_rate = base_power_rate
+                    else:
+                        watts_after = parent_watts + power_delta
+                        pkey = ("", watts_after)
+                        power_rate = util_get(pkey)
+                        if power_rate is None:
+                            power_rate = power_rate_of(watts_after)
+                            util_memo[pkey] = power_rate
+                    transient_memo[tkey] = rates = (perf_rate, power_rate)
+                dur_l[j] = predicted.duration
+                trate_l[j] = rates[0] + rates[1]
+            # Pass 2 — the per-child scalar chains.  Wide rounds run
+            # them as elementwise array ops: each lane replays the
+            # exact scalar expressions (min -> conditional assignment,
+            # where -> conditional zero), and numpy's elementwise
+            # +,-,*,minimum are the same IEEE double operations —
+            # bit-identical per child.  Narrow (pruned) rounds keep the
+            # scalar loop, which beats the kernels' fixed setup there.
+            if n_sel >= 24:
+                dur_a = np.asarray(dur_l)
+                eff_a = np.minimum(dur_a, remaining_window)
+                trate_a = np.minimum(np.asarray(trate_l), ideal_rate)
+                elapsed_a = parent_elapsed + dur_a
+                accrued_a = parent_accrued + eff_a * trate_a
+                remaining_a = window - elapsed_a
+                # ``bound``/priority inlined (identical arithmetic).
+                utility_a = (
+                    np.where(remaining_a > 0.0, remaining_a, 0.0)
+                    * ideal_rate
+                    + accrued_a
+                )
+                prio_a = (
+                    utility_a
+                    - guidance_weight * np.asarray(togo_list) * rate_gap
+                )
+                elapsed_l = elapsed_a.tolist()
+                accrued_l = accrued_a.tolist()
+                utility_l = utility_a.tolist()
+                prio_l = prio_a.tolist()
+            else:
+                elapsed_l = [0.0] * n_sel
+                accrued_l = [0.0] * n_sel
+                utility_l = [0.0] * n_sel
+                prio_l = [0.0] * n_sel
+                for j in range(n_sel):
+                    duration = dur_l[j]
+                    effective = (
+                        duration if duration < remaining_window
+                        else remaining_window
+                    )
+                    transient_rate = trate_l[j]
+                    if ideal_rate < transient_rate:
+                        transient_rate = ideal_rate
+                    elapsed = parent_elapsed + duration
+                    accrued = parent_accrued + effective * transient_rate
+                    remaining = window - elapsed
+                    # ``bound``/priority inlined (identical arithmetic).
+                    utility = (
+                        remaining if remaining > 0.0 else 0.0
+                    ) * ideal_rate + accrued
+                    elapsed_l[j] = elapsed
+                    accrued_l[j] = accrued
+                    utility_l[j] = utility
+                    prio_l[j] = (
+                        utility
+                        - guidance_weight * togo_list[j] * rate_gap
+                    )
+            # Pass 3 — emit: lazy payload tuples for non-candidate
+            # single-edit children, eager vertices for the rest.
+            for j, (column, action) in enumerate(
+                zip(sel.tolist(), actions_sel)
+            ):
+                delta = deltas[column]
+                accrued = accrued_l[j]
+                elapsed = elapsed_l[j]
+                utility = utility_l[j]
+                if delta:
+                    key_bytes = keys[j]
+                    is_cand = (
+                        cand_list[j]
+                        if cand_list is not None
+                        else child_candidate(
+                            state,
+                            parent_config,
+                            delta,
+                            frozenset(vm_id for vm_id, _ in delta),
+                        )
+                    )
+                    priority = prio_l[j]
+                    if not is_cand:
+                        # ~99% of children: no ``_Vertex`` (or even
+                        # ``Configuration``) until the heap pops them.
+                        children_append((
+                            key_bytes,
+                            priority,
+                            utility,
+                            accrued,
+                            elapsed,
+                            dist_list[j],
+                            action,
+                            delta,
+                            lineage,
+                        ))
+                        continue
+                    (vm_id, placement), = delta
+                    child = _Vertex(
+                        configuration=(
+                            config_remove(vm_id)
+                            if placement is None
+                            else config_replace(vm_id, placement)
+                        ),
+                        actions=parent_actions + (action,),
+                        accrued=accrued,
+                        elapsed=elapsed,
+                        distance=dist_list[j],
+                        is_candidate=True,
+                        state=None,
+                        pending=(state, delta),
+                        parent_configuration=parent_config,
+                        changed_vms=frozenset((vm_id,)),
+                        key=key_bytes,
+                        pending_config=None,
+                    )
+                else:
+                    # Null/host-power actions share the parent's state,
+                    # but their powered set differs — full togo path.
+                    try:
+                        new_config = action.apply(
+                            parent_config, self.catalog, self.limits
+                        )
+                    except ActionError:
+                        continue
+                    togo_child = basis.togo_seconds(state, new_config)
+                    priority = (
+                        utility - guidance_weight * togo_child * rate_gap
+                    )
+                    akind = type(action)
+                    if parent_key is None:
+                        child_key = codec.encode_key(new_config)
+                    elif akind is PowerOnHost:
+                        off = powered_base + host_slot[action.host_id]
+                        child_key = (
+                            parent_key[:off] + b"\x01"
+                            + parent_key[off + 1 :]
+                        )
+                    elif akind is PowerOffHost:
+                        off = powered_base + host_slot[action.host_id]
+                        child_key = (
+                            parent_key[:off] + b"\x00"
+                            + parent_key[off + 1 :]
+                        )
+                    elif akind is NullAction:
+                        child_key = parent_key
+                    else:
+                        child_key = codec.encode_key(new_config)
+                    child = _Vertex(
+                        configuration=new_config,
+                        actions=parent_actions + (action,),
+                        accrued=accrued,
+                        elapsed=elapsed,
+                        distance=dist_list[j],
+                        is_candidate=basis.is_candidate(state),
+                        state=state,
+                        pending=None,
+                        parent_configuration=parent_config,
+                        changed_vms=frozenset(),
+                        key=child_key,
+                        pending_config=None,
+                    )
+                child.utility = utility
+                child.priority = priority
+                children_append(child)
+            return children
+
+        def materialize_lazy(payload: tuple) -> _Vertex:
+            """A popped lazy child becomes a real vertex.
+
+            The payload carries exactly what ``build_children_array``
+            computed for the child; the vertex built here is
+            field-for-field the one the eager path would have built
+            (``configuration`` stays pending — the pop loop below
+            materializes it next, as for any lazy-config vertex).
+            """
+            (
+                key_bytes,
+                priority,
+                utility,
+                accrued,
+                elapsed,
+                distance,
+                action,
+                delta,
+                lineage,
+            ) = payload
+            parent_config, parent_actions, parent_state = lineage
+            child = _Vertex(
+                configuration=None,
+                actions=parent_actions + (action,),
+                accrued=accrued,
+                elapsed=elapsed,
+                distance=distance,
+                is_candidate=False,
+                state=None,
+                pending=(parent_state, delta),
+                parent_configuration=parent_config,
+                changed_vms=frozenset(vm_id for vm_id, _ in delta),
+                key=key_bytes,
+                pending_config=(parent_config, delta),
+            )
+            child.utility = utility
+            child.priority = priority
+            return child
+
+        def warm_candidates(parent: _Vertex, children: list) -> None:
             """Pre-solve candidate children's steady estimates through
             the batched LQN path before their terminal twins ask one by
             one (identical values either way — the batch kernel is
@@ -1536,7 +2116,7 @@ class AdaptationSearch:
             candidates = [
                 child.configuration
                 for child in children
-                if child.is_candidate
+                if type(child) is not tuple and child.is_candidate
             ]
             for start in range(0, len(candidates), settings.batch_size):
                 self.estimator.estimate_batch(
@@ -1552,6 +2132,7 @@ class AdaptationSearch:
             elapsed=0.0,
             state=basis.full_state(current) if incremental else None,
             is_candidate=current.is_candidate(self.catalog, self.limits),
+            key=codec.encode_key(current) if codec is not None else None,
         )
         root.distance = (
             basis.distance(root.state)
@@ -1598,9 +2179,35 @@ class AdaptationSearch:
         )
         while heap:
             neg_priority, _, _, vertex = heapq.heappop(heap)
-            key = (vertex.configuration, vertex.terminal)
-            if best_priority.get(key, -math.inf) > -neg_priority + 1e-12:
-                continue  # stale heap entry
+            if type(vertex) is tuple:
+                # Lazy array-round child: check staleness on the byte
+                # key first so stale pops never pay materialization.
+                if (
+                    best_priority.get((vertex[0], False), -math.inf)
+                    > -neg_priority + 1e-12
+                ):
+                    continue  # stale heap entry
+                vertex = materialize_lazy(vertex)
+            else:
+                key = (
+                    vertex.key
+                    if vertex.key is not None
+                    else vertex.configuration,
+                    vertex.terminal,
+                )
+                if best_priority.get(key, -math.inf) > -neg_priority + 1e-12:
+                    continue  # stale heap entry
+            if vertex.configuration is None:
+                # Array-core lazy child popped for expansion: build the
+                # configuration now (stale pops above never pay this).
+                parent_config, delta = vertex.pending_config
+                (vm_id, placement), = delta
+                vertex.configuration = (
+                    parent_config.remove(vm_id)
+                    if placement is None
+                    else parent_config.replace(vm_id, placement)
+                )
+                vertex.pending_config = None
             if vertex.terminal:
                 result_vertex = vertex
                 break
@@ -1623,13 +2230,105 @@ class AdaptationSearch:
             if len(vertex.actions) >= settings.max_plan_actions:
                 continue
 
-            possible = self._enumerate_actions(
-                vertex.configuration, ideal_caps
-            )
+            if array_on:
+                blocks: list = []
+                possible = self._enumerate_actions(
+                    vertex.configuration, ideal_caps, blocks_out=blocks
+                )
+            else:
+                possible = self._enumerate_actions(
+                    vertex.configuration, ideal_caps
+                )
             parent_steady = steady_of(vertex)
             children: list[_Vertex] = []
             tick = settings.per_vertex_seconds
-            if parallel_on:
+            if array_on:
+                # Array round (DESIGN.md §13): validity, ranking and
+                # the per-child reductions run as matrix kernels over
+                # the plan's pre-encoded columns; the executor round
+                # only predicts costs for the selected actions (all
+                # pre-validated, so the lighter ``predict`` method
+                # applies on the non-pruned path too).
+                state = vertex_state(vertex)
+                plan_cache = self._round_plan_cache
+                plan_key = tuple(map(id, blocks))
+                plan = plan_cache.get(plan_key)
+                if plan is None:
+                    if len(plan_cache) >= _ROUND_ACTION_CACHE_LIMIT:
+                        plan_cache.clear()
+                    plan = RoundPlan(blocks, len(possible))
+                    plan_cache[plan_key] = plan
+                counts = (
+                    replica_tier_counts(self.catalog, vertex.configuration)
+                    if plan.remove_checks
+                    else None
+                )
+                valid_idx = np.flatnonzero(plan.valid_mask(counts))
+                n_valid = valid_idx.size
+                values = abasis.round_values(plan)
+                parent_rows = abasis.parent_rows(
+                    vertex.configuration, vertex.key
+                )
+                if _telemetry.enabled:
+                    _telemetry.registry.counter("solver.array_rounds").inc()
+                if pruning and len(possible) > 1:
+                    tick += n_valid * settings.per_child_apply_seconds
+                    dist_full = abasis.distances(state, plan, values)
+                    # Stable argsort over the valid columns ranks
+                    # exactly like the serial sort by (distance,
+                    # enumeration order).
+                    ranked = np.argsort(dist_full[valid_idx], kind="stable")
+                    keep = max(
+                        1, math.ceil(settings.prune_fraction * n_valid)
+                    )
+                    if n_valid > keep:
+                        pruned_away += n_valid - keep
+                    sel = valid_idx[ranked[:keep]]
+                    actions_sel = [possible[k] for k in sel.tolist()]
+                    predictions = predict_round(
+                        vertex.configuration, actions_sel
+                    )
+                    children = build_children_array(
+                        vertex,
+                        state,
+                        parent_steady,
+                        plan,
+                        values,
+                        sel,
+                        actions_sel,
+                        predictions,
+                        dist_full[sel],
+                        parent_rows,
+                    )
+                    tick += len(children) * settings.per_child_eval_seconds
+                else:
+                    sel = valid_idx
+                    actions_sel = (
+                        possible
+                        if n_valid == plan.n
+                        else [possible[k] for k in sel.tolist()]
+                    )
+                    predictions = predict_round(
+                        vertex.configuration, actions_sel
+                    )
+                    children = build_children_array(
+                        vertex,
+                        state,
+                        parent_steady,
+                        plan,
+                        values,
+                        sel,
+                        actions_sel,
+                        predictions,
+                        None,
+                        parent_rows,
+                    )
+                    tick += len(children) * (
+                        settings.per_child_apply_seconds
+                        + settings.per_child_eval_seconds
+                    )
+                warm_candidates(vertex, children)
+            elif parallel_on:
                 state = vertex_state(vertex)
                 if pruning and len(possible) > 1:
                     # Pruned round: reachability and ranking use the
@@ -1806,8 +2505,26 @@ class AdaptationSearch:
                 result_vertex = best_terminal
                 break
 
+            # Lazy payload tuples go through an inlined ``push`` (same
+            # dedup rule, same counter discipline, same heap shape —
+            # the tie-breaker is the child's action count, a round
+            # constant); real vertices take the full path.  Candidates
+            # are never lazy, so terminal twins are not skipped.
+            child_rank = -(len(vertex.actions) + 1)
             for child in children:
-                push_with_terminal(child)
+                if type(child) is tuple:
+                    pkey = (child[0], False)
+                    known = best_priority.get(pkey)
+                    priority = child[1]
+                    if known is not None and known >= priority - 1e-12:
+                        continue
+                    best_priority[pkey] = priority
+                    heapq.heappush(
+                        heap,
+                        (-priority, child_rank, -next(counter), child),
+                    )
+                else:
+                    push_with_terminal(child)
 
         if result_vertex is None:
             result_vertex = best_terminal
@@ -1847,6 +2564,7 @@ class AdaptationSearch:
         self,
         configuration: Configuration,
         target_caps: Optional[Mapping[str, float]] = None,
+        blocks_out: Optional[list] = None,
     ) -> list[AdaptationAction]:
         """All one-step actions applicable from ``configuration``.
 
@@ -1854,6 +2572,12 @@ class AdaptationSearch:
         multi-step cap jumps straight to a VM's ideal cap are also
         generated so the search can take the efficient highway instead
         of interleaving unit steps combinatorially.
+
+        With ``blocks_out`` (array core), the matching ``ActionBlock``
+        per emitted sublist is appended to it — cached under the same
+        keys as the sublists themselves, so a cache-warm round encodes
+        nothing.  Concatenated, the blocks' columns mirror the returned
+        action list position for position.
         """
         settings = self.settings
         kinds = settings.allowed_kinds
@@ -1869,6 +2593,14 @@ class AdaptationSearch:
         if self.scope_hosts is not None:
             powered = [host for host in powered if host in self.scope_hosts]
         powered_key = tuple(powered)
+        # Hash the round-constant context once; per-VM cache keys carry
+        # the small interned token instead of the nested tuples.
+        ctx_tokens = self._ctx_tokens
+        ctx = (kinds, powered_key)
+        token = ctx_tokens.get(ctx)
+        if token is None:
+            token = len(ctx_tokens)
+            ctx_tokens[ctx] = token
 
         def interned(key: tuple, factory, *args) -> AdaptationAction:
             action = cache.get(key)
@@ -1880,9 +2612,13 @@ class AdaptationSearch:
         # One O(placements) pass instead of a replica_count() scan per
         # candidate action.
         replica_counts: dict[tuple[str, str], int] = {}
+        tier_of = self._vm_tier_key
         for placed_vm, _ in configuration.placement_items():
-            descriptor = self.catalog.get(placed_vm)
-            tier_key = (descriptor.app_name, descriptor.tier_name)
+            tier_key = tier_of.get(placed_vm)
+            if tier_key is None:
+                descriptor = self.catalog.get(placed_vm)
+                tier_key = (descriptor.app_name, descriptor.tier_name)
+                tier_of[placed_vm] = tier_key
             replica_counts[tier_key] = replica_counts.get(tier_key, 0) + 1
 
         # A VM's action sublist depends only on the facts in its cache
@@ -1892,6 +2628,13 @@ class AdaptationSearch:
         vm_cache = self._round_action_cache
         if len(vm_cache) >= _ROUND_ACTION_CACHE_LIMIT:
             vm_cache.clear()
+        block_cache = None
+        statics = None
+        if blocks_out is not None:
+            statics = self._ensure_array_statics()
+            block_cache = self._round_block_cache
+            if len(block_cache) >= _ROUND_ACTION_CACHE_LIMIT:
+                block_cache.clear()
         tier_limits = self._tier_limits
         for vm_id, placement in configuration.placement_items():
             if (
@@ -1903,12 +2646,11 @@ class AdaptationSearch:
                 target_caps.get(vm_id) if target_caps is not None else None
             )
             if "remove_replica" in kinds:
-                descriptor = self.catalog.get(vm_id)
-                tier_key = (descriptor.app_name, descriptor.tier_name)
+                tier_key = tier_of[vm_id]
                 bounds = tier_limits.get(tier_key)
                 if bounds is None:
-                    tier = self.applications.get(descriptor.app_name).tier(
-                        descriptor.tier_name
+                    tier = self.applications.get(tier_key[0]).tier(
+                        tier_key[1]
                     )
                     bounds = (tier.min_replicas, tier.max_replicas)
                     tier_limits[tier_key] = bounds
@@ -1916,12 +2658,11 @@ class AdaptationSearch:
             else:
                 can_remove = False
             sub_key = (
-                kinds,
+                token,
                 vm_id,
                 placement.host_id,
                 placement.cpu_cap,
                 target,
-                powered_key,
                 can_remove,
             )
             sub = vm_cache.get(sub_key)
@@ -1978,6 +2719,20 @@ class AdaptationSearch:
                     )
                 vm_cache[sub_key] = sub
             actions.extend(sub)
+            if blocks_out is not None:
+                block = block_cache.get(sub_key)
+                if block is None:
+                    block = vm_block(
+                        statics,
+                        self.catalog,
+                        sub,
+                        vm_id,
+                        placement.host_id,
+                        placement.cpu_cap,
+                        bounds[0] if "remove_replica" in kinds else 1,
+                    )
+                    block_cache[sub_key] = block
+                blocks_out.append(block)
 
         if "add_replica" in kinds:
             for app in self.applications:
@@ -2002,7 +2757,7 @@ class AdaptationSearch:
                         tier.name,
                         dormant_vm,
                         ideal_cap,
-                        powered_key,
+                        token,
                     )
                     sub = vm_cache.get(add_key)
                     if sub is None:
@@ -2030,6 +2785,12 @@ class AdaptationSearch:
                                 )
                         vm_cache[add_key] = sub
                     actions.extend(sub)
+                    if blocks_out is not None:
+                        block = block_cache.get(add_key)
+                        if block is None:
+                            block = add_block(statics, sub, dormant_vm)
+                            block_cache[add_key] = block
+                        blocks_out.append(block)
 
         if "power_on" in kinds:
             for host_id in self.host_ids:
@@ -2037,11 +2798,15 @@ class AdaptationSearch:
                     actions.append(
                         interned(("pon", host_id), PowerOnHost, host_id)
                     )
+                    if blocks_out is not None:
+                        blocks_out.append(statics.power_block)
         if "power_off" in kinds:
             for host_id in sorted(configuration.idle_hosts()):
                 actions.append(
                     interned(("poff", host_id), PowerOffHost, host_id)
                 )
+                if blocks_out is not None:
+                    blocks_out.append(statics.power_block)
         return actions
 
     # -- scoping ----------------------------------------------------------------

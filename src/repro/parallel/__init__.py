@@ -23,6 +23,7 @@ from repro.parallel.batch import ScoreContext, column_sums
 from repro.parallel.executors import (
     ProcessExecutor,
     SerialExecutor,
+    ShmConfigChannel,
     ThreadExecutor,
     make_executor,
     resolve_executor_kind,
@@ -34,6 +35,7 @@ __all__ = [
     "ProcessExecutor",
     "ScoreContext",
     "SerialExecutor",
+    "ShmConfigChannel",
     "ThreadExecutor",
     "column_sums",
     "default_workers",

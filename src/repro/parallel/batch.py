@@ -39,7 +39,12 @@ from repro.core.actions import (
     RemoveReplica,
     RoundDeltaResolver,
 )
-from repro.core.config import Configuration, ConstraintLimits, VmCatalog
+from repro.core.config import (
+    ConfigArray,
+    Configuration,
+    ConstraintLimits,
+    VmCatalog,
+)
 from repro.costmodel.manager import CostManager, PredictedCost
 
 #: An entry of a scored round: the action's placement delta plus its
@@ -50,11 +55,20 @@ ScoredAction = Optional[tuple[tuple, PredictedCost]]
 @dataclass(frozen=True)
 class ScoreContext:
     """Everything a worker needs to score actions (picklable, and
-    installed into process workers before the fork)."""
+    installed into process workers before the fork).
+
+    ``host_ids`` is the testbed's host universe in order.  It is not
+    read by the scoring kernels themselves; the process executor uses
+    it to pin the :class:`~repro.core.config.ConfigCodec` universes of
+    its shared-memory configuration channel.  Empty means "unknown" and
+    simply disables the channel (rounds fall back to pickling the
+    parent configuration, exactly the pre-channel behaviour).
+    """
 
     catalog: VmCatalog
     limits: ConstraintLimits
     cost_manager: CostManager
+    host_ids: tuple = ()
 
 
 #: Keep per-executor prediction memos bounded; a search run cycles
@@ -250,6 +264,13 @@ def predict_actions(
 _WORKER_CONTEXT: Optional[ScoreContext] = None
 #: Per-worker prediction memo (each forked process owns one).
 _WORKER_MEMO: dict = {}
+#: The executor's shared-memory configuration channel (or None), also
+#: fork-inherited.  Workers only ever *read* it.
+_WORKER_CHANNEL = None
+#: Per-worker decode cache: ``(seq, Configuration)`` of the last shared
+#: snapshot this worker decoded.  One round publishes one sequence
+#: number, so every chunk of the round after the first is a cache hit.
+_WORKER_SNAPSHOT: Optional[tuple] = None
 
 
 def install_worker_context(context: ScoreContext) -> None:
@@ -259,12 +280,63 @@ def install_worker_context(context: ScoreContext) -> None:
     _WORKER_MEMO.clear()
 
 
+def install_worker_channel(channel) -> None:
+    """Stage the shared-memory configuration channel (call before the
+    pool forks; pass ``None`` to clear a previous executor's channel)."""
+    global _WORKER_CHANNEL, _WORKER_SNAPSHOT
+    _WORKER_CHANNEL = channel
+    _WORKER_SNAPSHOT = None
+
+
+def _shared_configuration(seq: int) -> Configuration:
+    """Decode the parent configuration published under ``seq``.
+
+    The executor guarantees publishes never overlap in-flight tasks
+    (rounds that might race a straggler pickle the configuration
+    instead), so the snapshot this worker reads is always the one the
+    payload's sequence number names; the check below is a tripwire, not
+    a synchronization mechanism.
+    """
+    global _WORKER_SNAPSHOT
+    snapshot = _WORKER_SNAPSHOT
+    if snapshot is not None and snapshot[0] == seq:
+        return snapshot[1]
+    channel = _WORKER_CHANNEL
+    if channel is None:
+        raise RuntimeError("shared-memory payload but no channel installed")
+    published = int(channel.seq_slot[0])
+    if published != seq:
+        raise RuntimeError(
+            f"shared snapshot out of sync: payload seq {seq}, shm {published}"
+        )
+    configuration = channel.codec.decode(
+        ConfigArray(
+            channel.hosts.copy(), channel.caps.copy(), channel.powered.copy()
+        )
+    )
+    _WORKER_SNAPSHOT = (seq, configuration)
+    return configuration
+
+
+def _payload_configuration(configuration) -> Configuration:
+    """Resolve a payload's configuration slot: an ``int`` is a shared
+    snapshot's sequence number, anything else the pickled object."""
+    if type(configuration) is int:
+        return _shared_configuration(configuration)
+    return configuration
+
+
 def _process_score_chunk(payload: tuple) -> list[ScoredAction]:
     """Pool task: score one chunk of a round in a forked worker."""
     configuration, actions, workloads, wkey = payload
     assert _WORKER_CONTEXT is not None, "worker context never installed"
     return score_actions(
-        _WORKER_CONTEXT, configuration, actions, workloads, _WORKER_MEMO, wkey
+        _WORKER_CONTEXT,
+        _payload_configuration(configuration),
+        actions,
+        workloads,
+        _WORKER_MEMO,
+        wkey,
     )
 
 
@@ -273,7 +345,12 @@ def _process_predict_chunk(payload: tuple) -> list[PredictedCost]:
     configuration, actions, workloads, wkey = payload
     assert _WORKER_CONTEXT is not None, "worker context never installed"
     return predict_actions(
-        _WORKER_CONTEXT, configuration, actions, workloads, _WORKER_MEMO, wkey
+        _WORKER_CONTEXT,
+        _payload_configuration(configuration),
+        actions,
+        workloads,
+        _WORKER_MEMO,
+        wkey,
     )
 
 
@@ -290,7 +367,17 @@ def column_sums(matrix: np.ndarray) -> np.ndarray:
     ``sum(term_list)`` performs — same operands, same order, starting
     from zero — so the results are bit-identical per child.  (``np.sum``
     would use pairwise summation and round differently.)
+
+    When the reduction axis is strided (a C-contiguous matrix with two
+    or more columns), ``np.add.reduce`` over axis 0 accumulates the
+    rows in the same top-to-bottom order — numpy's pairwise summation
+    only reorders reductions over contiguous memory — so the single
+    ufunc call replaces the Python row loop.  Single-column and
+    non-contiguous inputs keep the explicit loop; the bit-identity
+    suite pins the equivalence.
     """
+    if matrix.shape[1] > 1 and matrix.flags.c_contiguous:
+        return np.add.reduce(matrix, axis=0, initial=0.0)
     total = np.zeros(matrix.shape[1], dtype=np.float64)
     for row in matrix:
         total = total + row

@@ -12,8 +12,10 @@ already-validated survivors — behind one of three backings:
 ``ProcessExecutor``
     a forked ``multiprocessing`` pool.  The :class:`ScoreContext` is
     installed as a module global *before* the fork so workers inherit
-    it; per-round payloads carry only the parent configuration, the
-    action chunk, and the workload vector — pickle-light by design.
+    it; per-round payloads carry only the action chunk, the workload
+    vector, and — when the shared-memory configuration channel is live
+    — a plain integer naming the parent configuration instead of the
+    pickled object itself (see :class:`ShmConfigChannel`).
 
 Every backing splits a round into contiguous chunks and concatenates
 the results in chunk order, so the merged list is positionally
@@ -45,18 +47,22 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.actions import AdaptationAction
-from repro.core.config import Configuration
+from repro.core.config import ConfigCodec, Configuration
 from repro.costmodel.manager import PredictedCost
 from repro.parallel.batch import (
     ScoreContext,
     ScoredAction,
     _process_predict_chunk,
     _process_score_chunk,
+    install_worker_channel,
     install_worker_context,
     predict_actions,
     score_actions,
 )
+from repro.telemetry import runtime as _telemetry
 
 #: Recognized executor kinds (``SearchSettings.parallel_executor``).
 EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
@@ -171,8 +177,74 @@ class ThreadExecutor:
         self._memo.clear()
 
 
+class ShmConfigChannel:
+    """One-writer shared-memory mailbox for a round's parent configuration.
+
+    Layout (one fork-inherited byte buffer, naturally aligned):
+    ``[cpu_caps f64 x n_vms][seq u64][host_index i16 x n_vms][powered u8
+    x n_hosts]`` — the :class:`~repro.core.config.ConfigArray` image of
+    the configuration under the channel's codec, plus a monotonically
+    increasing sequence number naming the published snapshot.
+
+    The parent *publishes* by diffing the fresh encode against what the
+    buffer already holds and writing only the changed cells — between
+    consecutive search rounds the parent configuration differs by one
+    placement delta, so a publish is a handful of bytes where pickling
+    shipped the whole object per chunk.  Workers decode the snapshot at
+    most once per sequence number (the per-worker cache in
+    ``repro.parallel.batch``) into a ``Configuration`` that compares,
+    hashes and pickles identically to the original, keeping scoring
+    bit-identical to the pickled path.
+
+    There is no locking: the executor only publishes when no task is in
+    flight (see ``ProcessExecutor._publish`` — rounds that might race a
+    timed-out round's stragglers pickle the configuration instead).
+    """
+
+    __slots__ = ("codec", "_buffer", "caps", "seq_slot", "hosts", "powered", "_seq")
+
+    def __init__(self, codec: ConfigCodec) -> None:
+        self.codec = codec
+        n_vms = len(codec.vm_ids)
+        n_hosts = len(codec.host_ids)
+        size = n_vms * 8 + 8 + n_vms * 2 + n_hosts
+        buffer = multiprocessing.get_context("fork").RawArray("B", size)
+        self._buffer = buffer
+        self.caps = np.frombuffer(buffer, dtype=np.float64, count=n_vms)
+        self.seq_slot = np.frombuffer(
+            buffer, dtype=np.uint64, count=1, offset=n_vms * 8
+        )
+        self.hosts = np.frombuffer(
+            buffer, dtype=np.int16, count=n_vms, offset=n_vms * 8 + 8
+        )
+        self.powered = np.frombuffer(
+            buffer, dtype=np.uint8, count=n_hosts, offset=n_vms * 10 + 8
+        )
+        self._seq = 0
+
+    def publish(self, configuration: Configuration) -> tuple[int, int]:
+        """Write ``configuration``'s delta against the buffer; returns
+        ``(seq, bytes_written)``.  Raises ``KeyError`` when the
+        configuration leaves the codec's universes (caller falls back
+        to pickling)."""
+        arrays = self.codec.encode(configuration)
+        written = 0
+        for shared, fresh in (
+            (self.caps, arrays.cpu_caps),
+            (self.hosts, arrays.host_index),
+            (self.powered, arrays.powered),
+        ):
+            changed = np.flatnonzero(shared != fresh)
+            if changed.size:
+                shared[changed] = fresh[changed]
+                written += int(changed.size) * shared.itemsize
+        self._seq += 1
+        self.seq_slot[0] = self._seq
+        return self._seq, written
+
+
 class ProcessExecutor:
-    """Forked process-pool scoring with pickle-light payloads."""
+    """Forked process-pool scoring with shared-memory config payloads."""
 
     kind = "process"
 
@@ -183,22 +255,69 @@ class ProcessExecutor:
             )
         self.context = context
         self.workers = workers
-        # Workers inherit the context through fork, not pickling.
+        self._straggler = None
+        channel = None
+        if context.host_ids:
+            try:
+                channel = ShmConfigChannel(
+                    ConfigCodec(context.catalog.vm_ids(), context.host_ids)
+                )
+            except ValueError:  # universe too large for the codec
+                channel = None
+        self._channel = channel
+        # Workers inherit the context (and channel) through fork, not
+        # pickling — both staged as module globals before pool creation.
         install_worker_context(context)
+        install_worker_channel(channel)
         self._pool = multiprocessing.get_context("fork").Pool(
             processes=workers
         )
 
+    def _publish(self, configuration: Configuration):
+        """The payload's configuration slot for this round: the shared
+        snapshot's sequence number when the channel can take the
+        round's parent, else the configuration itself (pickled per
+        chunk, the pre-channel behaviour).
+
+        A publish mutates the buffer in place, so it must never overlap
+        a straggling task from a timed-out round that could still read
+        it; until such a round's tasks finish, rounds pickle.
+        """
+        channel = self._channel
+        if channel is None:
+            return configuration
+        if self._straggler is not None:
+            if not self._straggler.ready():
+                return configuration
+            self._straggler = None
+        try:
+            seq, written = channel.publish(configuration)
+        except KeyError:  # configuration outside the codec universes
+            return configuration
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("parallel.shm_rounds").inc()
+            registry.counter("parallel.shm_bytes").inc(written)
+        return seq
+
     def _map(
         self, chunk_fn, configuration, actions, workloads, wkey, timeout=None
     ) -> list:
+        marker = self._publish(configuration)
         payloads = [
-            (configuration, chunk, workloads, wkey)
+            (marker, chunk, workloads, wkey)
             for chunk in _chunks(actions, self.workers)
         ]
         merged: list = []
         if timeout is not None:
-            chunks = self._pool.map_async(chunk_fn, payloads).get(timeout)
+            pending = self._pool.map_async(chunk_fn, payloads)
+            try:
+                chunks = pending.get(timeout)
+            except multiprocessing.TimeoutError:
+                # Stragglers may still read the shared buffer; block
+                # publishes until they finish (they are discarded).
+                self._straggler = pending
+                raise
         else:
             chunks = self._pool.map(chunk_fn, payloads)
         for result in chunks:

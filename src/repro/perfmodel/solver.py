@@ -53,13 +53,32 @@ hosts the power model never sees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import Configuration, VmCatalog
+from repro.core.config import (
+    ConfigCodec,
+    Configuration,
+    VmCatalog,
+    array_core_enabled,
+)
 from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
 from repro.telemetry import runtime as _telemetry
+
+#: Batched-solve codecs are cached per powered-host universe; a search
+#: cycles through few distinct universes, but an unbounded cache could
+#: grow across long simulations.
+_CODEC_CACHE_LIMIT = 128
+
+
+@dataclass(frozen=True)
+class _BatchArrays:
+    """A whole batch encoded numerically: ``[batch, n_vms]`` matrices."""
+
+    codec: ConfigCodec
+    caps: np.ndarray
+    hosts: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -104,6 +123,10 @@ class LqnSolver:
     def __init__(self, catalog: VmCatalog, parameters: LqnParameters) -> None:
         self._catalog = catalog
         self._parameters = parameters
+        self._vm_ids = catalog.vm_ids()
+        self._vm_slots = {vm_id: i for i, vm_id in enumerate(self._vm_ids)}
+        self._codec_cache: dict[frozenset, ConfigCodec] = {}
+        self._tier_col_cache: dict[tuple[str, str], np.ndarray] = {}
         # (app, tier) -> vm ids, precomputed once; placement filtering
         # happens per solve call.
         self._tier_vms: dict[tuple[str, str], tuple[str, ...]] = {}
@@ -231,6 +254,8 @@ class LqnSolver:
         self,
         configurations: Sequence[Configuration],
         workloads: Mapping[str, float],
+        *,
+        use_arrays: Optional[bool] = None,
     ) -> list[SolveState]:
         """Solve many configurations under one workload vector at once.
 
@@ -239,6 +264,14 @@ class LqnSolver:
         :class:`SolveState` is bit-identical to ``solve_state`` of the
         same configuration, so batch results interoperate freely with
         the incremental path (``update_state`` accepts them).
+
+        ``use_arrays`` selects the assembly path: the array-native one
+        encodes the whole batch into ``[batch, n_vms]`` cap/host-index
+        matrices via :class:`~repro.core.config.ConfigCodec` and slices
+        per-tier columns out of them, skipping the per-configuration
+        placement-dict copies and per-tier mapping scans of the legacy
+        path.  Both feed the identical tier math, so the choice (default:
+        ``MISTRAL_ARRAY_CORE``) cannot move a single float.
 
         Like :meth:`solve_state`, batches never carry demand
         multipliers: they exist for the optimizers' hot path, which
@@ -251,17 +284,26 @@ class LqnSolver:
             registry = _telemetry.registry
             registry.counter("solver.batch_solves").inc()
             registry.counter("solver.batch_configs").inc(batch)
-        placements = [
-            configuration.placements for configuration in configurations
-        ]
+        if use_arrays is None:
+            use_arrays = array_core_enabled()
+        encoded = self._encode_batch(configurations) if use_arrays else None
+        if encoded is None:
+            placements = [
+                configuration.placements for configuration in configurations
+            ]
         per_config_tiers: list[dict[tuple[str, str], TierSolution]] = [
             {} for _ in range(batch)
         ]
         for app_name, rate in workloads.items():
             for tier_name, vm_ids in self._app_tiers.get(app_name, ()):
-                solutions = self._solve_tier_batch(
-                    app_name, tier_name, vm_ids, placements, rate
-                )
+                if encoded is not None:
+                    solutions = self._solve_tier_batch_arrays(
+                        app_name, tier_name, vm_ids, encoded, rate
+                    )
+                else:
+                    solutions = self._solve_tier_batch(
+                        app_name, tier_name, vm_ids, placements, rate
+                    )
                 key = (app_name, tier_name)
                 for tiers, solution in zip(per_config_tiers, solutions):
                     tiers[key] = solution
@@ -274,6 +316,75 @@ class LqnSolver:
             for configuration, tiers in zip(configurations, per_config_tiers)
         ]
 
+    def _encode_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> Optional[_BatchArrays]:
+        """Encode a batch into cap/host-index matrices, or ``None`` when
+        a configuration falls outside the catalog universe (the caller
+        then takes the legacy object path)."""
+        union: set[str] = set()
+        for configuration in configurations:
+            union |= configuration.powered_hosts
+        key = frozenset(union)
+        codec = self._codec_cache.get(key)
+        if codec is None:
+            if len(self._codec_cache) >= _CODEC_CACHE_LIMIT:
+                self._codec_cache.clear()
+            codec = ConfigCodec(self._vm_ids, sorted(union))
+            self._codec_cache[key] = codec
+        batch = len(configurations)
+        count = len(self._vm_ids)
+        caps = np.zeros((batch, count))
+        hosts = np.full((batch, count), -1, dtype=np.int16)
+        vm_slots = self._vm_slots
+        host_index = codec.host_index
+        try:
+            for b, configuration in enumerate(configurations):
+                for vm_id, placement in configuration.placement_items():
+                    slot = vm_slots[vm_id]
+                    caps[b, slot] = placement.cpu_cap
+                    hosts[b, slot] = host_index[placement.host_id]
+        except KeyError:
+            return None
+        return _BatchArrays(codec, caps, hosts)
+
+    def _tier_cols(self, app_name: str, tier_name: str) -> np.ndarray:
+        """Catalog column indices of one tier's VMs (cached)."""
+        key = (app_name, tier_name)
+        cols = self._tier_col_cache.get(key)
+        if cols is None:
+            cols = np.array(
+                [self._vm_slots[vm_id] for vm_id in self._tier_vms[key]],
+                dtype=np.intp,
+            )
+            self._tier_col_cache[key] = cols
+        return cols
+
+    def _solve_tier_batch_arrays(
+        self,
+        app_name: str,
+        tier_name: str,
+        vm_ids: tuple[str, ...],
+        encoded: _BatchArrays,
+        rate: float,
+    ) -> list[TierSolution]:
+        """Array-native tier assembly: slice the batch matrices instead
+        of scanning placement mappings, then run the shared math."""
+        cols = self._tier_cols(app_name, tier_name)
+        caps = encoded.caps[:, cols]
+        host_matrix = encoded.hosts[:, cols]
+        placed = host_matrix >= 0
+        host_ids = encoded.codec.host_ids
+        return self._tier_batch_math(
+            app_name,
+            tier_name,
+            vm_ids,
+            caps,
+            placed,
+            lambda b, j: host_ids[host_matrix[b, j]],
+            rate,
+        )
+
     def _solve_tier_batch(
         self,
         app_name: str,
@@ -282,22 +393,9 @@ class LqnSolver:
         placements: Sequence[Mapping[str, "object"]],
         rate: float,
     ) -> list[TierSolution]:
-        """Vectorized ``_solve_tier`` across a batch of configurations.
-
-        Bit-identity with the scalar kernel rests on two facts: numpy's
-        element-wise float64 arithmetic is the same IEEE-754 operation
-        the interpreter performs on Python floats, and every reduction
-        here is accumulated column-by-column in catalog order — adding
-        ``0.0`` for unplaced replicas, which is exact — so each batch
-        element sees the same sequence of scalar additions the loop in
-        ``_solve_tier`` performs.
-        """
-        params = self._parameters
+        """Legacy object-path assembly of one tier's batch matrices."""
         batch = len(placements)
         count = len(vm_ids)
-        demand = params.inflated_demand(app_name, tier_name)
-        visits = params.visits(app_name, tier_name)
-
         caps = np.zeros((batch, count))
         placed = np.zeros((batch, count), dtype=bool)
         hosts: list[list[Optional[str]]] = []
@@ -318,6 +416,40 @@ class LqnSolver:
                     for vm_id in vm_ids
                 ]
             )
+        return self._tier_batch_math(
+            app_name,
+            tier_name,
+            vm_ids,
+            caps,
+            placed,
+            lambda b, j: hosts[b][j],
+            rate,
+        )
+
+    def _tier_batch_math(
+        self,
+        app_name: str,
+        tier_name: str,
+        vm_ids: tuple[str, ...],
+        caps: np.ndarray,
+        placed: np.ndarray,
+        host_of: Callable[[int, int], str],
+        rate: float,
+    ) -> list[TierSolution]:
+        """Vectorized ``_solve_tier`` across a batch of configurations.
+
+        Bit-identity with the scalar kernel rests on two facts: numpy's
+        element-wise float64 arithmetic is the same IEEE-754 operation
+        the interpreter performs on Python floats, and every reduction
+        here is accumulated column-by-column in catalog order — adding
+        ``0.0`` for unplaced replicas, which is exact — so each batch
+        element sees the same sequence of scalar additions the loop in
+        ``_solve_tier`` performs.
+        """
+        params = self._parameters
+        batch, count = caps.shape
+        demand = params.inflated_demand(app_name, tier_name)
+        visits = params.visits(app_name, tier_name)
 
         # total_cap: column-accumulated in catalog order (0.0 for
         # unplaced replicas — exact, the scalar sum simply skips them).
@@ -401,7 +533,7 @@ class LqnSolver:
                 if row[j]
             )
             host_busy = tuple(
-                (hosts[b][j], busy_lists[j][b])
+                (host_of(b, j), busy_lists[j][b])
                 for j, vm_id in enumerate(vm_ids)
                 if row[j]
             )

@@ -1,0 +1,354 @@
+"""Array-native expansion core (DESIGN.md §13).
+
+The contract under test: flipping the array core on — numeric codec,
+vectorized rounds, shared-memory process payloads — changes *how fast*
+rounds are evaluated, never *what* the search decides.  Every decision
+trace must be bit-identical to the legacy object-at-a-time path, under
+every executor backing, and the codec must round-trip configurations
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    ConfigCodec,
+    Configuration,
+    Placement,
+    array_core_enabled,
+)
+from repro.core.search import AdaptationSearch, SearchSettings
+from repro.parallel.batch import ScoreContext, install_worker_channel
+from repro.parallel.executors import ProcessExecutor, ShmConfigChannel
+from repro.testbed.scenarios import _global_perf_pwr, initial_configuration
+
+#: Everything a search outcome decides; wall-clock and pool tallies are
+#: measured time, excluded by the contract.
+OUTCOME_FIELDS = (
+    "actions",
+    "final_configuration",
+    "predicted_utility",
+    "expansions",
+    "decision_seconds",
+    "pruning_activated",
+    "optimal",
+)
+
+VM_UNIVERSE = tuple(f"vm-{index}" for index in range(8))
+HOST_UNIVERSE = tuple(f"host-{index}" for index in range(5))
+
+
+@pytest.fixture(scope="module")
+def array_testbed():
+    """A private 2-app testbed: these tests run the same searches the
+    incremental-engine tests do, and sharing the session testbed would
+    pre-warm its estimator caches out from under them."""
+    from repro.testbed import make_testbed
+
+    return make_testbed(app_count=2, seed=0)
+
+
+def _make_search(testbed, **settings_kwargs) -> AdaptationSearch:
+    settings = SearchSettings(
+        self_aware=True, incremental=True, **settings_kwargs
+    )
+    return AdaptationSearch(
+        testbed.applications,
+        testbed.catalog,
+        testbed.limits,
+        testbed.estimator,
+        testbed.cost_manager,
+        _global_perf_pwr(testbed),
+        testbed.host_ids,
+        settings=settings,
+    )
+
+
+def _outcomes(search, testbed, runs=2):
+    start = initial_configuration(testbed)
+    outcomes = []
+    for run in range(runs):
+        workloads = {
+            name: 45.0 + 5.0 * index + run
+            for index, name in enumerate(testbed.applications.names())
+        }
+        search.perf_pwr.optimize(workloads)
+        outcomes.append(search.search(start, workloads, 300.0))
+    search.close_executor()
+    return outcomes
+
+
+def _assert_outcomes_identical(reference, candidate) -> None:
+    for field in OUTCOME_FIELDS:
+        assert getattr(candidate, field) == getattr(reference, field), field
+
+
+# -- codec round-trip ----------------------------------------------------------
+
+
+@st.composite
+def configurations(draw) -> Configuration:
+    """Random in-universe configurations: a subset of VMs placed on
+    random hosts with arbitrary positive caps, powered = used hosts
+    plus random idle extras."""
+    placements = {}
+    used = set()
+    for vm_id in VM_UNIVERSE:
+        if draw(st.booleans()):
+            host = draw(st.sampled_from(HOST_UNIVERSE))
+            cap = draw(
+                st.floats(
+                    min_value=1e-6,
+                    max_value=1.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            placements[vm_id] = Placement(host, cap)
+            used.add(host)
+    extras = draw(st.sets(st.sampled_from(HOST_UNIVERSE)))
+    return Configuration(placements, used | extras)
+
+
+@settings(max_examples=200, deadline=None)
+@given(configuration=configurations())
+def test_codec_round_trip_is_bit_exact(configuration):
+    """decode(encode(c)) reproduces the configuration exactly — same
+    placements (cap floats compared by raw bits), same powered set,
+    equal and hash-equal to the original."""
+    codec = ConfigCodec(VM_UNIVERSE, HOST_UNIVERSE)
+    decoded = codec.decode(codec.encode(configuration))
+    assert decoded == configuration
+    assert hash(decoded) == hash(configuration)
+    for vm_id, placement in configuration.placement_items():
+        twin = decoded.placement_of(vm_id)
+        assert twin.host_id == placement.host_id
+        assert twin.cpu_cap.hex() == placement.cpu_cap.hex()
+    assert decoded.powered_hosts == configuration.powered_hosts
+    assert codec.encode_key(decoded) == codec.encode_key(configuration)
+
+
+@settings(max_examples=100, deadline=None)
+@given(first=configurations(), second=configurations())
+def test_codec_keys_are_injective(first, second):
+    """Distinct configurations get distinct byte keys (and equal ones
+    equal keys) — the dedup invariant the array search relies on."""
+    codec = ConfigCodec(VM_UNIVERSE, HOST_UNIVERSE)
+    same_key = codec.encode_key(first) == codec.encode_key(second)
+    assert same_key == (first == second)
+
+
+def test_codec_rejects_out_of_universe_configurations():
+    codec = ConfigCodec(VM_UNIVERSE, HOST_UNIVERSE)
+    with pytest.raises(KeyError):
+        codec.encode(
+            Configuration({"stranger": Placement("host-0", 0.2)}, {"host-0"})
+        )
+    with pytest.raises(KeyError):
+        codec.encode(Configuration({}, {"elsewhere"}))
+
+
+# -- bit-identity: array rounds vs legacy rounds -------------------------------
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_array_core_outcomes_bit_identical_to_legacy(executor, array_testbed):
+    """Array-native rounds under every executor backing reproduce the
+    legacy per-child loop's outcomes exactly — actions, configurations,
+    float utilities, expansion counts, and the Eq. 3 decision seconds."""
+    legacy = _outcomes(
+        _make_search(array_testbed, array_core=False), array_testbed
+    )
+    workers = 1 if executor == "serial" else 2
+    array = _outcomes(
+        _make_search(
+            array_testbed,
+            array_core=True,
+            parallel_workers=workers,
+            parallel_executor=executor,
+        ),
+        array_testbed,
+    )
+    for reference, candidate in zip(legacy, array):
+        _assert_outcomes_identical(reference, candidate)
+
+
+def test_array_core_defaults_follow_environment(monkeypatch):
+    monkeypatch.delenv("MISTRAL_ARRAY_CORE", raising=False)
+    assert array_core_enabled() is True
+    monkeypatch.setenv("MISTRAL_ARRAY_CORE", "0")
+    assert array_core_enabled() is False
+    monkeypatch.setenv("MISTRAL_ARRAY_CORE", "1")
+    assert array_core_enabled() is True
+
+
+def test_env_gate_disables_array_rounds(array_testbed, monkeypatch):
+    """MISTRAL_ARRAY_CORE=0 pins the legacy path when the settings
+    leave the choice to the environment — and the outcome still
+    matches the array path bit for bit."""
+    array = _outcomes(
+        _make_search(array_testbed, array_core=True), array_testbed, runs=1
+    )
+    monkeypatch.setenv("MISTRAL_ARRAY_CORE", "0")
+    gated = _outcomes(_make_search(array_testbed), array_testbed, runs=1)
+    for reference, candidate in zip(array, gated):
+        _assert_outcomes_identical(reference, candidate)
+
+
+# -- solver interop: array-assembled states feed update_state ------------------
+
+
+def _assert_states_identical(left, right) -> None:
+    assert left.configuration == right.configuration
+    assert left.tiers.keys() == right.tiers.keys()
+    for app, value in right.estimate.response_times.items():
+        assert left.estimate.response_times[app].hex() == value.hex()
+    assert left.estimate.tier_utilizations == right.estimate.tier_utilizations
+    assert left.estimate.host_utilizations == right.estimate.host_utilizations
+
+
+@pytest.mark.perf_smoke
+def test_array_solve_batch_states_interoperate_with_update_state(
+    solver, base_configuration
+):
+    """A state assembled by the array path of ``solve_batch`` is a
+    first-class parent for the scalar delta engine: chaining
+    ``update_state`` off it reproduces a fresh scalar solve exactly."""
+    workloads = {"RUBiS-1": 33.0, "RUBiS-2": 21.0}
+    (state,) = solver.solve_batch(
+        [base_configuration], workloads, use_arrays=True
+    )
+    _assert_states_identical(
+        state, solver.solve_state(base_configuration, workloads)
+    )
+    configuration = base_configuration
+    for vm_id in base_configuration.placed_vm_ids()[:3]:
+        placement = configuration.placement_of(vm_id)
+        configuration = configuration.replace(
+            vm_id,
+            placement.with_cap(0.3 if placement.cpu_cap != 0.3 else 0.5),
+        )
+        state = solver.update_state(
+            state, configuration, workloads, (vm_id,)
+        )
+        _assert_states_identical(
+            state, solver.solve_state(configuration, workloads)
+        )
+
+
+@pytest.mark.perf_smoke
+def test_array_solve_batch_does_not_regress_legacy_batch(
+    solver, base_configuration
+):
+    """The array assembly path must stay within 10% of the legacy
+    ``solve_batch`` path on the same batch (best-of-N to shrug off
+    scheduler noise; the two paths produce identical states)."""
+    import time
+
+    workloads = {"RUBiS-1": 40.0, "RUBiS-2": 25.0}
+    configurations = [base_configuration]
+    caps = (0.25, 0.35, 0.45, 0.55)
+    for index, vm_id in enumerate(base_configuration.placed_vm_ids()):
+        placement = base_configuration.placement_of(vm_id)
+        for cap in caps:
+            if cap != placement.cpu_cap:
+                configurations.append(
+                    base_configuration.replace(vm_id, placement.with_cap(cap))
+                )
+
+    def best_of(use_arrays: bool, reps: int = 5) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            solver.solve_batch(
+                configurations, workloads, use_arrays=use_arrays
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    best_of(True, reps=1)  # warm both paths' caches identically
+    best_of(False, reps=1)
+    array_time = best_of(True)
+    legacy_time = best_of(False)
+    assert array_time <= legacy_time * 1.1, (
+        f"array solve_batch {array_time:.6f}s vs legacy {legacy_time:.6f}s"
+    )
+
+
+# -- shared-memory configuration channel ---------------------------------------
+
+
+def test_shm_channel_round_trips_and_ships_deltas(array_testbed):
+    """Publishing writes only changed cells (delta bytes, not the full
+    image) and workers' decode of the buffer reproduces the published
+    configuration exactly."""
+    testbed = array_testbed
+    codec = ConfigCodec(testbed.catalog.vm_ids(), testbed.host_ids)
+    channel = ShmConfigChannel(codec)
+    first = initial_configuration(testbed)
+    seq1, wrote1 = channel.publish(first)
+    assert seq1 == 1 and wrote1 > 0
+
+    decoded = channel.codec.decode(
+        type(codec.encode(first))(
+            channel.hosts.copy(), channel.caps.copy(), channel.powered.copy()
+        )
+    )
+    assert decoded == first
+
+    vm_id = first.placed_vm_ids()[0]
+    placement = first.placement_of(vm_id)
+    child = first.replace(vm_id, placement.with_cap(placement.cpu_cap + 0.1))
+    seq2, wrote2 = channel.publish(child)
+    assert seq2 == 2
+    # One cap cell changed: exactly one float64 rewritten.
+    assert wrote2 == np.dtype(np.float64).itemsize
+    assert int(channel.seq_slot[0]) == 2
+
+    # Republishing the unchanged snapshot writes nothing.
+    seq3, wrote3 = channel.publish(child)
+    assert seq3 == 3 and wrote3 == 0
+
+
+def test_process_executor_uses_channel_and_falls_back_without_host_ids(
+    array_testbed,
+):
+    """With host ids the process executor builds the shm channel; a
+    context without them (or an out-of-universe configuration) falls
+    back to pickling the configuration — same results either way."""
+    testbed = array_testbed
+    with_ids = ScoreContext(
+        testbed.catalog,
+        testbed.limits,
+        testbed.cost_manager,
+        tuple(testbed.host_ids),
+    )
+    executor = ProcessExecutor(with_ids, workers=2)
+    try:
+        assert executor._channel is not None
+        configuration = initial_configuration(testbed)
+        marker = executor._publish(configuration)
+        assert isinstance(marker, int)
+        # Out-of-universe parents pickle instead of raising.
+        foreign = Configuration(
+            {}, {testbed.host_ids[0], "not-a-testbed-host"}
+        )
+        assert executor._publish(foreign) is foreign
+    finally:
+        executor.close()
+        install_worker_channel(None)
+
+    without_ids = ScoreContext(
+        testbed.catalog, testbed.limits, testbed.cost_manager
+    )
+    bare = ProcessExecutor(without_ids, workers=2)
+    try:
+        assert bare._channel is None
+        configuration = initial_configuration(testbed)
+        assert bare._publish(configuration) is configuration
+    finally:
+        bare.close()
