@@ -19,6 +19,7 @@ performance trajectory travels with the repository.  See DESIGN.md's
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import platform
 import subprocess
@@ -122,6 +123,38 @@ def _write_parallel_block(payload: dict, workers: int) -> None:
     (results / "parallel_search.txt").write_text("\n".join(lines) + "\n")
 
 
+def _history_row(payload: dict) -> dict:
+    """One flat summary line per suite run for ``BENCH_history.jsonl``.
+
+    Keeps just enough to plot the performance trajectory over time —
+    per-scenario mean search seconds and the speedup-vs-baseline ratios
+    — without the full payload's nested detail.
+    """
+    meta = payload["meta"]
+    timings = {
+        scenario: {
+            label: entry[label]["mean_search_seconds"]
+            for label in ("naive", "self_aware", "self_aware_parallel")
+            if label in entry
+        }
+        for scenario, entry in payload["current"]["search"].items()
+    }
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": meta["commit"],
+        "python": meta["python"],
+        "machine": meta["machine"],
+        "runs_per_scenario": meta["runs_per_scenario"],
+        "sizes": meta["sizes"],
+        "parallel_workers": meta["parallel_workers"],
+        "mean_search_seconds": timings,
+        "speedup_vs_baseline": payload["speedup_vs_baseline"],
+        "parallel_speedup": payload.get("parallel_speedup"),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -166,6 +199,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="app count the instrumented telemetry pass runs at "
         "(default: the smallest size in --sizes)",
+    )
+    parser.add_argument(
+        "--append-history",
+        nargs="?",
+        type=Path,
+        const=REPO_ROOT / "BENCH_history.jsonl",
+        default=None,
+        metavar="PATH",
+        help="append one summary row (timestamp, commit, per-scenario "
+        "mean seconds, speedups) to this JSONL history file "
+        "(default path: BENCH_history.jsonl at the repo root)",
     )
     parser.add_argument(
         "--allow-dirty",
@@ -260,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
             _write_parallel_block(payload, args.workers)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.append_history is not None:
+        with open(args.append_history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_history_row(payload)) + "\n")
+        print(f"appended history row to {args.append_history}")
     for scenario, entry in payload["speedup_vs_baseline"].items():
         printable = {
             label: (f"{ratio:.2f}x" if ratio else "n/a")

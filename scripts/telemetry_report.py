@@ -46,9 +46,25 @@ class SchemaError(ValueError):
     """The trace's schema version is unknown to this reader."""
 
 
-def read_trace(path: Path) -> list[dict]:
-    """Parse a JSONL trace, validating every line's schema version."""
-    events = []
+class TraceEvents(list):
+    """A list of trace records plus the count of lines skipped as
+    unparseable (``malformed_lines``) — a crash-truncated trace ends in
+    a torn line, and the report must survive it, not die on it."""
+
+    malformed_lines: int = 0
+
+
+def read_trace(path: Path) -> TraceEvents:
+    """Parse a JSONL trace, validating every line's schema version.
+
+    Truncated or otherwise malformed lines (torn tail of a crashed
+    run, disk-full artifacts) are skipped and counted on the returned
+    list's ``malformed_lines`` — only an *unknown schema version* on a
+    well-formed line raises, because that means every field's meaning
+    is in doubt, not just one line's bytes.
+    """
+    events = TraceEvents()
+    malformed = 0
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -56,10 +72,12 @@ def read_trace(path: Path) -> list[dict]:
                 continue
             try:
                 event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: not valid JSON ({exc})"
-                ) from exc
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if not isinstance(event, dict):
+                malformed += 1
+                continue
             version = event.get("v")
             if version not in KNOWN_SCHEMA_VERSIONS:
                 known = sorted(KNOWN_SCHEMA_VERSIONS)
@@ -70,6 +88,7 @@ def read_trace(path: Path) -> list[dict]:
                     "update scripts/telemetry_report.py."
                 )
             events.append(event)
+    events.malformed_lines = malformed
     return events
 
 
@@ -451,6 +470,7 @@ def build_report(events: list[dict]) -> dict:
     """All rollups in one JSON-friendly dict."""
     return {
         "events": len(events),
+        "malformed_lines": getattr(events, "malformed_lines", 0),
         "controllers": controller_rollup(events),
         "search": search_rollup(events),
         "efficiency": efficiency_rollup(events),
@@ -479,6 +499,11 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 
 def render(report: dict) -> str:
     out = [f"telemetry report — {report['events']} events"]
+    if report.get("malformed_lines"):
+        out.append(
+            f"warning: skipped {report['malformed_lines']} malformed "
+            "line(s) (truncated trace?)"
+        )
 
     controllers = report["controllers"]
     if controllers:
@@ -580,6 +605,28 @@ def render(report: dict) -> str:
                 f"array rounds: {batch['array_rounds']}  "
                 f"shm rounds: {batch['shm_rounds']} "
                 f"({batch['shm_bytes']} delta bytes published)"
+            )
+        histogram_rows = [
+            [
+                name,
+                str(histogram.get("count", 0)),
+                f"{histogram.get('mean', 0.0):.6f}",
+                f"{histogram.get('p50', 0.0):.6f}",
+                f"{histogram.get('p90', 0.0):.6f}",
+                f"{histogram.get('p99', 0.0):.6f}",
+            ]
+            for name, histogram in sorted(
+                efficiency.get("histograms", {}).items()
+            )
+            if histogram.get("count")
+        ]
+        if histogram_rows:
+            out.append("\n== efficiency ==")
+            out.append(
+                _table(
+                    ["histogram", "count", "mean s", "p50", "p90", "p99"],
+                    histogram_rows,
+                )
             )
 
     resilience = report.get("resilience", {})

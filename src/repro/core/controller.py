@@ -305,9 +305,11 @@ class MistralController:
 
         window = max(escape.estimated_next_interval, self.min_control_window)
         expected = self.expected_utility(window)
+        debt_consumed = 0.0
         if expected is not None and self._fault_debt > 0.0:
             # Charge the utility wasted by aborted plans against the
             # pessimistic budget, consumed by this one decision.
+            debt_consumed = self._fault_debt
             expected -= self._fault_debt
             self._fault_debt = 0.0
         expected_rate = (
@@ -337,6 +339,17 @@ class MistralController:
                 search_watts=self.search.settings.search_watts_delta,
                 predicted_utility=outcome.predicted_utility,
             )
+            if outcome.provenance is not None:
+                # Emitted inside the span so the event's ``parent``
+                # links it to this decision.  Children pruned under a
+                # fault-debited budget are relabelled first.
+                outcome.provenance.apply_fault_debit(debt_consumed)
+                _telemetry.tracer.event(
+                    "decision.provenance",
+                    controller=self.name,
+                    t_sim=now,
+                    **outcome.provenance.to_attrs(),
+                )
         if _telemetry.enabled:
             _telemetry.registry.counter("controller.decisions").inc()
             if outcome.is_null:

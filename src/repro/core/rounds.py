@@ -58,6 +58,7 @@ from repro.core.config import (
     VmCatalog,
 )
 from repro.parallel.batch import column_sums
+from repro.telemetry import phases as _phases
 
 #: Native-order scalar packers matching the codec's int16/float64 cell
 #: bytes (standard sizes, so identical to ``np.int16``/``np.float64``
@@ -565,35 +566,43 @@ class ArrayBasis:
     def distances(self, state, plan: RoundPlan, values: tuple) -> np.ndarray:
         """Per-column distances over the whole plan — bit-identical to
         the legacy ``batch_distances`` (same scatter values, same
-        ``column_sums`` reduction, same final expression)."""
-        n = plan.n
-        dist_vals, match_vals, _ = values
-        has = plan.vm >= 0
-        cols = np.flatnonzero(has)
-        vms = plan.vm[has]
-        total = self.total
-        if not total:
-            cap_m = np.repeat(
-                np.array(state.cap_terms, dtype=np.float64)[:, None],
-                n,
-                axis=1,
-            )
-            cap_m[vms, cols] = dist_vals[has]
-            return np.sqrt(column_sums(cap_m))  # placement term is 0.0
-        # One fused (rows, 2n) matrix — cap columns then match columns.
-        # ``column_sums`` reduces every column independently in row
-        # order, so each fused column's addition chain is the chain the
-        # two separate reductions would have run.
-        rows = len(state.cap_terms)
-        fused = np.empty((rows, 2 * n), dtype=np.float64)
-        fused[:, :n] = np.array(state.cap_terms, dtype=np.float64)[:, None]
-        fused[:, n:] = np.array(state.host_matches, dtype=np.float64)[
-            :, None
-        ]
-        fused[vms, cols] = dist_vals[has]
-        fused[vms, n + cols] = match_vals[has]
-        sums = column_sums(fused)
-        return np.sqrt(sums[:n]) + (1.0 - sums[n:] / total)
+        ``column_sums`` reduction, same final expression).
+
+        The whole kernel is the array core's ranking work, so it
+        attributes to the search's ``score`` phase (a no-op without an
+        active profile — see :mod:`repro.telemetry.phases`)."""
+        with _phases.phase("score"):
+            n = plan.n
+            dist_vals, match_vals, _ = values
+            has = plan.vm >= 0
+            cols = np.flatnonzero(has)
+            vms = plan.vm[has]
+            total = self.total
+            if not total:
+                cap_m = np.repeat(
+                    np.array(state.cap_terms, dtype=np.float64)[:, None],
+                    n,
+                    axis=1,
+                )
+                cap_m[vms, cols] = dist_vals[has]
+                return np.sqrt(column_sums(cap_m))  # placement term is 0.0
+            # One fused (rows, 2n) matrix — cap columns then match
+            # columns.  ``column_sums`` reduces every column
+            # independently in row order, so each fused column's
+            # addition chain is the chain the two separate reductions
+            # would have run.
+            rows = len(state.cap_terms)
+            fused = np.empty((rows, 2 * n), dtype=np.float64)
+            fused[:, :n] = np.array(state.cap_terms, dtype=np.float64)[
+                :, None
+            ]
+            fused[:, n:] = np.array(state.host_matches, dtype=np.float64)[
+                :, None
+            ]
+            fused[vms, cols] = dist_vals[has]
+            fused[vms, n + cols] = match_vals[has]
+            sums = column_sums(fused)
+            return np.sqrt(sums[:n]) + (1.0 - sums[n:] / total)
 
     def sel_reductions(
         self,

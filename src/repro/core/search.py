@@ -75,7 +75,9 @@ from repro.parallel.executors import (
     resolve_executor_kind,
 )
 from repro.parallel.runtime import default_workers
+from repro.telemetry import phases as _phases
 from repro.telemetry import runtime as _telemetry
+from repro.telemetry.provenance import ProvenanceCollector, plan_breakdown
 
 #: All action families the search may use.
 ALL_ACTION_KINDS: frozenset[str] = frozenset(
@@ -244,6 +246,11 @@ class SearchOutcome:
     #: plan — possibly null).  Always ``False`` when
     #: ``SearchSettings.deadline_seconds`` is unset.
     deadline_aborted: bool = False
+    #: :class:`~repro.telemetry.provenance.DecisionProvenance` when
+    #: telemetry + provenance collection were on for this search, else
+    #: ``None``.  Observational only — excluded from the bit-identity
+    #: contract along with the measured wall fields.
+    provenance: Optional[object] = None
 
     @property
     def is_null(self) -> bool:
@@ -802,6 +809,17 @@ class AdaptationSearch:
         # hot path (single ``is not None`` test per expansion).
         deadline = settings.deadline_seconds
         deadline_hit = False
+        # Provenance + phase profiling ride along only while telemetry
+        # is on: with it off neither object exists and every hook below
+        # stays a single ``is not None`` test (or is never reached).
+        collector = (
+            ProvenanceCollector()
+            if _telemetry.enabled and _telemetry.provenance
+            else None
+        )
+        profile = _phases.PhaseProfile() if _telemetry.enabled else None
+        if profile is not None:
+            _phases.set_profile(profile)
 
         def complete(
             actions: tuple[AdaptationAction, ...],
@@ -813,12 +831,16 @@ class AdaptationSearch:
             optimal: bool,
             early_return: bool = False,
             deadline_aborted: bool = False,
+            action_chain: tuple = (),
         ) -> SearchOutcome:
             """Construct the outcome — every return path funnels through
             here so ``wall_seconds`` is always measured against the
             ``wall_start`` taken at entry (the no-escape early return
             included), and so one search emits exactly one telemetry
-            record."""
+            record.  ``action_chain`` is the winner's *full* chain
+            (``NullAction`` included) for the provenance replay."""
+            if profile is not None:
+                _phases.set_profile(None)
             outcome = SearchOutcome(
                 actions=actions,
                 final_configuration=final_configuration,
@@ -874,6 +896,74 @@ class AdaptationSearch:
                     optimal=outcome.optimal,
                     early_return=early_return,
                 )
+                if profile is not None and profile:
+                    _telemetry.tracer.event(
+                        "profile.phases",
+                        phases=profile.snapshot(),
+                        wall_seconds=outcome.wall_seconds,
+                        expansions=outcome.expansions,
+                        parallel=parallel_on,
+                        array_core=array_on,
+                    )
+                if collector is not None:
+                    try:
+                        totals, per_action = plan_breakdown(
+                            self.estimator,
+                            self.catalog,
+                            self.limits,
+                            self.cost_manager,
+                            workloads,
+                            wkey,
+                            window,
+                            ideal_rate,
+                            current,
+                            action_chain,
+                        )
+                    except Exception:
+                        # Provenance must never take a decision down;
+                        # fall back to a coarse, un-decomposed record.
+                        totals = {
+                            "steady": predicted_utility,
+                            "transient": 0.0,
+                            "total": predicted_utility,
+                        }
+                        per_action = []
+                    utility = {
+                        **totals,
+                        "predicted_utility": predicted_utility,
+                        "baseline_utility": window * current_rate,
+                        "delta_vs_current": (
+                            predicted_utility - window * current_rate
+                        ),
+                        "ideal_bound": window * ideal_rate,
+                        "heuristic_gap": (
+                            window * ideal_rate - predicted_utility
+                        ),
+                    }
+                    outcome.provenance = collector.build(
+                        utility=utility,
+                        chosen_actions=tuple(
+                            type(action).__name__ for action in actions
+                        ),
+                        predicted_utility=predicted_utility,
+                        search={
+                            "expansions": outcome.expansions,
+                            "children_generated": generated,
+                            "children_pruned": pruned_away,
+                            "candidates": candidate_pushes,
+                            "pruning_activated": outcome.pruning_activated,
+                            "optimal": outcome.optimal,
+                            "early_return": early_return,
+                            "deadline_aborted": deadline_aborted,
+                            "self_aware": settings.self_aware,
+                            "incremental": incremental,
+                            "parallel": parallel_on,
+                            "array_core": array_on,
+                            "wall_seconds": outcome.wall_seconds,
+                            "decision_seconds": outcome.decision_seconds,
+                        },
+                        per_action=per_action,
+                    )
             return outcome
 
         if ideal.configuration == current:
@@ -1151,6 +1241,8 @@ class AdaptationSearch:
                     key=vertex.key,
                 )
                 terminal.utility = candidate_value(terminal)
+                if collector is not None:
+                    collector.note_candidate(terminal.utility, terminal.actions)
                 finalize(terminal)
                 push(terminal)
 
@@ -1230,6 +1322,11 @@ class AdaptationSearch:
                 wall_dt = time.perf_counter() - wall_0
                 pool_cpu += cpu_dt
                 pool_wall += wall_dt
+                if profile is not None:
+                    # The dispatch round *is* the scoring work on the
+                    # batched paths — reuse its measurements instead of
+                    # reading the clocks a second time.
+                    profile.add("score", wall_dt, cpu_dt)
                 if _telemetry.enabled:
                     registry = _telemetry.registry
                     registry.counter("parallel.rounds").inc()
@@ -2230,15 +2327,16 @@ class AdaptationSearch:
             if len(vertex.actions) >= settings.max_plan_actions:
                 continue
 
-            if array_on:
-                blocks: list = []
-                possible = self._enumerate_actions(
-                    vertex.configuration, ideal_caps, blocks_out=blocks
-                )
-            else:
-                possible = self._enumerate_actions(
-                    vertex.configuration, ideal_caps
-                )
+            with _phases.phase("enumerate"):
+                if array_on:
+                    blocks: list = []
+                    possible = self._enumerate_actions(
+                        vertex.configuration, ideal_caps, blocks_out=blocks
+                    )
+                else:
+                    possible = self._enumerate_actions(
+                        vertex.configuration, ideal_caps
+                    )
             parent_steady = steady_of(vertex)
             children: list[_Vertex] = []
             tick = settings.per_vertex_seconds
@@ -2283,23 +2381,29 @@ class AdaptationSearch:
                     )
                     if n_valid > keep:
                         pruned_away += n_valid - keep
+                        if collector is not None:
+                            collector.note_pruned(
+                                n_valid - keep,
+                                float(dist_full[valid_idx][ranked[keep]]),
+                            )
                     sel = valid_idx[ranked[:keep]]
                     actions_sel = [possible[k] for k in sel.tolist()]
                     predictions = predict_round(
                         vertex.configuration, actions_sel
                     )
-                    children = build_children_array(
-                        vertex,
-                        state,
-                        parent_steady,
-                        plan,
-                        values,
-                        sel,
-                        actions_sel,
-                        predictions,
-                        dist_full[sel],
-                        parent_rows,
-                    )
+                    with _phases.phase("merge"):
+                        children = build_children_array(
+                            vertex,
+                            state,
+                            parent_steady,
+                            plan,
+                            values,
+                            sel,
+                            actions_sel,
+                            predictions,
+                            dist_full[sel],
+                            parent_rows,
+                        )
                     tick += len(children) * settings.per_child_eval_seconds
                 else:
                     sel = valid_idx
@@ -2311,18 +2415,19 @@ class AdaptationSearch:
                     predictions = predict_round(
                         vertex.configuration, actions_sel
                     )
-                    children = build_children_array(
-                        vertex,
-                        state,
-                        parent_steady,
-                        plan,
-                        values,
-                        sel,
-                        actions_sel,
-                        predictions,
-                        None,
-                        parent_rows,
-                    )
+                    with _phases.phase("merge"):
+                        children = build_children_array(
+                            vertex,
+                            state,
+                            parent_steady,
+                            plan,
+                            values,
+                            sel,
+                            actions_sel,
+                            predictions,
+                            None,
+                            parent_rows,
+                        )
                     tick += len(children) * (
                         settings.per_child_apply_seconds
                         + settings.per_child_eval_seconds
@@ -2351,9 +2456,10 @@ class AdaptationSearch:
                     tick += (
                         len(reachable_batch) * settings.per_child_apply_seconds
                     )
-                    distances = batch_distances(
-                        state, [entry[2] for entry in reachable_batch]
-                    )
+                    with _phases.phase("score"):
+                        distances = batch_distances(
+                            state, [entry[2] for entry in reachable_batch]
+                        )
                     # Stable argsort == sort by (distance, position);
                     # positions are monotone in enumeration order, so
                     # this ranks exactly like the serial
@@ -2367,6 +2473,11 @@ class AdaptationSearch:
                     )
                     if len(reachable_batch) > keep:
                         pruned_away += len(reachable_batch) - keep
+                        if collector is not None:
+                            collector.note_pruned(
+                                len(reachable_batch) - keep,
+                                float(distances[ranked[keep]]),
+                            )
                     survivors = [reachable_batch[k] for k in ranked[:keep]]
                     predictions = dispatch(
                         "predict",
@@ -2379,13 +2490,14 @@ class AdaptationSearch:
                             survivors, predictions
                         )
                     ]
-                    children = build_children_batched(
-                        vertex,
-                        state,
-                        parent_steady,
-                        entries,
-                        distances=distances[ranked[:keep]],
-                    )
+                    with _phases.phase("merge"):
+                        children = build_children_batched(
+                            vertex,
+                            state,
+                            parent_steady,
+                            entries,
+                            distances=distances[ranked[:keep]],
+                        )
                     tick += len(children) * settings.per_child_eval_seconds
                 else:
                     scored = dispatch("score", vertex.configuration, possible)
@@ -2396,9 +2508,10 @@ class AdaptationSearch:
                         )
                         if result is not None
                     ]
-                    children = build_children_batched(
-                        vertex, state, parent_steady, entries
-                    )
+                    with _phases.phase("merge"):
+                        children = build_children_batched(
+                            vertex, state, parent_steady, entries
+                        )
                     tick += len(children) * (
                         settings.per_child_apply_seconds
                         + settings.per_child_eval_seconds
@@ -2454,16 +2567,21 @@ class AdaptationSearch:
                 )
                 if len(reachable) > keep:
                     pruned_away += len(reachable) - keep
-                for _, _, action, new_config, delta in reachable[:keep]:
-                    child = build_child(
-                        vertex,
-                        action,
-                        parent_steady,
-                        new_config=new_config,
-                        delta=delta,
-                    )
-                    if child is not None:
-                        children.append(child)
+                    if collector is not None:
+                        collector.note_pruned(
+                            len(reachable) - keep, reachable[keep][0]
+                        )
+                with _phases.phase("merge"):
+                    for _, _, action, new_config, delta in reachable[:keep]:
+                        child = build_child(
+                            vertex,
+                            action,
+                            parent_steady,
+                            new_config=new_config,
+                            delta=delta,
+                        )
+                        if child is not None:
+                            children.append(child)
                 tick += len(children) * settings.per_child_eval_seconds
             else:
                 for action in possible:
@@ -2511,20 +2629,21 @@ class AdaptationSearch:
             # constant); real vertices take the full path.  Candidates
             # are never lazy, so terminal twins are not skipped.
             child_rank = -(len(vertex.actions) + 1)
-            for child in children:
-                if type(child) is tuple:
-                    pkey = (child[0], False)
-                    known = best_priority.get(pkey)
-                    priority = child[1]
-                    if known is not None and known >= priority - 1e-12:
-                        continue
-                    best_priority[pkey] = priority
-                    heapq.heappush(
-                        heap,
-                        (-priority, child_rank, -next(counter), child),
-                    )
-                else:
-                    push_with_terminal(child)
+            with _phases.phase("frontier"):
+                for child in children:
+                    if type(child) is tuple:
+                        pkey = (child[0], False)
+                        known = best_priority.get(pkey)
+                        priority = child[1]
+                        if known is not None and known >= priority - 1e-12:
+                            continue
+                        best_priority[pkey] = priority
+                        heapq.heappush(
+                            heap,
+                            (-priority, child_rank, -next(counter), child),
+                        )
+                    else:
+                        push_with_terminal(child)
 
         if result_vertex is None:
             result_vertex = best_terminal
@@ -2543,6 +2662,10 @@ class AdaptationSearch:
         decision_seconds = max(
             settings.per_vertex_seconds, elapsed_search
         )
+        if collector is not None and deadline_hit:
+            collector.note_deadline(
+                len(heap), -heap[0][0] if heap else None
+            )
         return complete(
             actions=tuple(
                 action
@@ -2556,6 +2679,7 @@ class AdaptationSearch:
             pruning_activated=pruning,
             optimal=expansions < settings.max_expansions and not deadline_hit,
             deadline_aborted=deadline_hit,
+            action_chain=result_vertex.actions,
         )
 
     # -- action enumeration ------------------------------------------------------

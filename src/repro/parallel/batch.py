@@ -26,6 +26,7 @@ left-to-right float additions of the serial ``sum(list)`` — unlike
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -271,6 +272,14 @@ _WORKER_CHANNEL = None
 #: snapshot this worker decoded.  One round publishes one sequence
 #: number, so every chunk of the round after the first is a cache hit.
 _WORKER_SNAPSHOT: Optional[tuple] = None
+#: Worker trace staging: ``(segment_dir, parent_epoch)`` installed
+#: before the pool forks (or None — tracing off).  Each forked worker
+#: lazily opens its own JSONL segment in ``segment_dir`` and emits
+#: spans on the parent's epoch; the executor merges the segments back
+#: into the main trace on close (see ``Tracer.merge_segment``).
+_WORKER_TRACE_SPEC: Optional[tuple] = None
+#: The forked worker's lazily-built tracer (one per process).
+_WORKER_TRACER = None
 
 
 def install_worker_context(context: ScoreContext) -> None:
@@ -286,6 +295,40 @@ def install_worker_channel(channel) -> None:
     global _WORKER_CHANNEL, _WORKER_SNAPSHOT
     _WORKER_CHANNEL = channel
     _WORKER_SNAPSHOT = None
+
+
+def install_worker_trace(spec: Optional[tuple]) -> None:
+    """Stage worker trace segments (call before the pool forks).
+
+    ``spec`` is ``(segment_dir, parent_epoch)`` — workers append their
+    spans to ``segment_dir/worker-<pid>.jsonl`` with ``t`` relative to
+    the parent tracer's epoch (sound under ``fork`` on Linux, where
+    ``perf_counter`` reads the shared CLOCK_MONOTONIC) — or ``None``
+    to clear a previous executor's staging.
+    """
+    global _WORKER_TRACE_SPEC, _WORKER_TRACER
+    _WORKER_TRACE_SPEC = spec
+    _WORKER_TRACER = None
+
+
+def _worker_tracer():
+    """This worker process's segment tracer, opened on first use."""
+    global _WORKER_TRACER
+    tracer = _WORKER_TRACER
+    if tracer is None and _WORKER_TRACE_SPEC is not None:
+        from repro.telemetry.trace import JsonlFileSink, Tracer
+
+        directory, epoch = _WORKER_TRACE_SPEC
+        pid = os.getpid()
+        sink = JsonlFileSink(
+            os.path.join(directory, f"worker-{pid}.jsonl"),
+            # A pool worker is terminated, never shut down: every line
+            # must reach the OS as soon as its span closes.
+            autoflush=True,
+            meta={"worker": pid, "segment": True},
+        )
+        tracer = _WORKER_TRACER = Tracer(sink, epoch=epoch)
+    return tracer
 
 
 def _shared_configuration(seq: int) -> Configuration:
@@ -330,6 +373,17 @@ def _process_score_chunk(payload: tuple) -> list[ScoredAction]:
     """Pool task: score one chunk of a round in a forked worker."""
     configuration, actions, workloads, wkey = payload
     assert _WORKER_CONTEXT is not None, "worker context never installed"
+    tracer = _worker_tracer() if _WORKER_TRACE_SPEC is not None else None
+    if tracer is not None:
+        with tracer.span("worker.score_chunk", actions=len(actions)):
+            return score_actions(
+                _WORKER_CONTEXT,
+                _payload_configuration(configuration),
+                actions,
+                workloads,
+                _WORKER_MEMO,
+                wkey,
+            )
     return score_actions(
         _WORKER_CONTEXT,
         _payload_configuration(configuration),
@@ -344,6 +398,17 @@ def _process_predict_chunk(payload: tuple) -> list[PredictedCost]:
     """Pool task: predict one chunk of survivor actions."""
     configuration, actions, workloads, wkey = payload
     assert _WORKER_CONTEXT is not None, "worker context never installed"
+    tracer = _worker_tracer() if _WORKER_TRACE_SPEC is not None else None
+    if tracer is not None:
+        with tracer.span("worker.predict_chunk", actions=len(actions)):
+            return predict_actions(
+                _WORKER_CONTEXT,
+                _payload_configuration(configuration),
+                actions,
+                workloads,
+                _WORKER_MEMO,
+                wkey,
+            )
     return predict_actions(
         _WORKER_CONTEXT,
         _payload_configuration(configuration),

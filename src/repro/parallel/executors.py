@@ -59,10 +59,12 @@ from repro.parallel.batch import (
     _process_score_chunk,
     install_worker_channel,
     install_worker_context,
+    install_worker_trace,
     predict_actions,
     score_actions,
 )
 from repro.telemetry import runtime as _telemetry
+from repro.telemetry.trace import merge_worker_segments
 
 #: Recognized executor kinds (``SearchSettings.parallel_executor``).
 EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
@@ -269,6 +271,22 @@ class ProcessExecutor:
         # pickling — both staged as module globals before pool creation.
         install_worker_context(context)
         install_worker_channel(channel)
+        # Worker trace segments: when the main trace goes to a JSONL
+        # file, stage a sibling segment directory (and the parent
+        # tracer's epoch) so forked workers emit their spans instead of
+        # silently dropping them; ``close`` merges the segments back.
+        trace_dir = None
+        if _telemetry.enabled:
+            trace_path = getattr(_telemetry.tracer.sink, "path", None)
+            if trace_path is not None:
+                trace_dir = f"{trace_path}.workers"
+                os.makedirs(trace_dir, exist_ok=True)
+        self._trace_dir = trace_dir
+        install_worker_trace(
+            (trace_dir, _telemetry.tracer.epoch)
+            if trace_dir is not None
+            else None
+        )
         self._pool = multiprocessing.get_context("fork").Pool(
             processes=workers
         )
@@ -339,6 +357,18 @@ class ProcessExecutor:
     def close(self) -> None:
         self._pool.terminate()
         self._pool.join()
+        # Workers are gone; their autoflushed segments are complete.
+        # Merge them into the main trace with re-numbered seq/parent
+        # linkage, provided the trace is still open to receive them.
+        if self._trace_dir is not None and _telemetry.enabled:
+            merged = merge_worker_segments(_telemetry.tracer, self._trace_dir)
+            _telemetry.registry.counter("parallel.worker_records").inc(merged)
+            _telemetry.tracer.event(
+                "parallel.worker_segments_merged",
+                records=merged,
+                directory=self._trace_dir,
+            )
+        install_worker_trace(None)
 
 
 def resolve_executor_kind(kind: str, workers: int) -> str:

@@ -64,6 +64,7 @@ from repro.core.config import (
     array_core_enabled,
 )
 from repro.perfmodel.lqn import LqnParameters, PerformanceEstimate
+from repro.telemetry import phases as _phases
 from repro.telemetry import runtime as _telemetry
 
 #: Batched-solve codecs are cached per powered-host universe; a search
@@ -286,35 +287,43 @@ class LqnSolver:
             registry.counter("solver.batch_configs").inc(batch)
         if use_arrays is None:
             use_arrays = array_core_enabled()
-        encoded = self._encode_batch(configurations) if use_arrays else None
-        if encoded is None:
-            placements = [
-                configuration.placements for configuration in configurations
-            ]
-        per_config_tiers: list[dict[tuple[str, str], TierSolution]] = [
-            {} for _ in range(batch)
-        ]
-        for app_name, rate in workloads.items():
-            for tier_name, vm_ids in self._app_tiers.get(app_name, ()):
-                if encoded is not None:
-                    solutions = self._solve_tier_batch_arrays(
-                        app_name, tier_name, vm_ids, encoded, rate
-                    )
-                else:
-                    solutions = self._solve_tier_batch(
-                        app_name, tier_name, vm_ids, placements, rate
-                    )
-                key = (app_name, tier_name)
-                for tiers, solution in zip(per_config_tiers, solutions):
-                    tiers[key] = solution
-        return [
-            SolveState(
-                configuration=configuration,
-                tiers=tiers,
-                estimate=self._compose(configuration, workloads, tiers),
+        # The whole batched solve is the search's "solve" phase (see
+        # repro.telemetry.phases); a no-op when no profile is active.
+        with _phases.phase("solve"):
+            encoded = (
+                self._encode_batch(configurations) if use_arrays else None
             )
-            for configuration, tiers in zip(configurations, per_config_tiers)
-        ]
+            if encoded is None:
+                placements = [
+                    configuration.placements
+                    for configuration in configurations
+                ]
+            per_config_tiers: list[dict[tuple[str, str], TierSolution]] = [
+                {} for _ in range(batch)
+            ]
+            for app_name, rate in workloads.items():
+                for tier_name, vm_ids in self._app_tiers.get(app_name, ()):
+                    if encoded is not None:
+                        solutions = self._solve_tier_batch_arrays(
+                            app_name, tier_name, vm_ids, encoded, rate
+                        )
+                    else:
+                        solutions = self._solve_tier_batch(
+                            app_name, tier_name, vm_ids, placements, rate
+                        )
+                    key = (app_name, tier_name)
+                    for tiers, solution in zip(per_config_tiers, solutions):
+                        tiers[key] = solution
+            return [
+                SolveState(
+                    configuration=configuration,
+                    tiers=tiers,
+                    estimate=self._compose(configuration, workloads, tiers),
+                )
+                for configuration, tiers in zip(
+                    configurations, per_config_tiers
+                )
+            ]
 
     def _encode_batch(
         self, configurations: Sequence[Configuration]

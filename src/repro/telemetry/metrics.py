@@ -113,6 +113,44 @@ class Histogram:
         """Mean of all observations (0.0 before the first)."""
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from buckets.
+
+        Linear interpolation inside the bucket holding the target
+        rank, the standard fixed-bucket estimator: the true value is
+        somewhere in ``(lo, hi]``, and observations are assumed spread
+        evenly across it.  The first bucket interpolates up from 0;
+        ranks landing in the overflow bucket clamp to the last bound
+        (there is no upper edge to interpolate toward).  Returns 0.0
+        before the first observation.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[index - 1] if index else 0.0
+                hi = self.bounds[index]
+                return lo + (hi - lo) * (target - previous) / bucket_count
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p90/p99 summary (see :meth:`percentile`)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
 
 class MetricsRegistry:
     """Named instruments plus registered caches, snapshot-able as a dict."""
@@ -212,6 +250,7 @@ class MetricsRegistry:
                     "count": histogram.count,
                     "sum": histogram.sum,
                     "mean": histogram.mean,
+                    **histogram.percentiles(),
                 }
                 for name, histogram in sorted(self._histograms.items())
             },

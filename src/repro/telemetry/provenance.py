@@ -1,0 +1,308 @@
+"""Decision provenance: why the controller chose the plan it chose.
+
+Mistral's contribution is the *trade-off* — Eq. 3 balances the steady
+utility a plan reaches against the transient perf/power utility and
+the time spent adapting — yet a bare ``controller.decision`` span only
+records that a decision happened.  This module assembles, per search,
+a schema-versioned provenance record carrying:
+
+* the chosen plan's per-term utility breakdown (steady term, transient
+  perf/power accrual per action, adaptation seconds) whose terms sum
+  to the decision's reported ``predicted_utility``;
+* the top-k rejected candidates with scores and a rejection reason —
+  ``dominated`` (a complete candidate that lost on utility),
+  ``pruned`` (children discarded by the self-aware width pruning),
+  ``deadline-aborted`` (frontier abandoned when the watchdog fired),
+  or ``fault-debited`` (pruning under a budget debited by fault
+  waste);
+* the search stats that produced the plan.
+
+Collection is **observational**: the collector only reads values the
+search computed anyway, so decisions are bit-identical whether
+provenance is on or off.  It activates only when telemetry is enabled
+*and* ``runtime.provenance`` is set; with telemetry disabled no
+collector is ever constructed (the <2% overhead contract of
+DESIGN.md §9 is untouched).
+
+The record reaches the trace as one ``decision.provenance`` event
+emitted inside the ``controller.decision`` span, and reaches
+experiment results via ``RunMetrics.decision_provenance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+#: Version of the provenance record layout.  Bump on breaking changes;
+#: readers (``scripts/trace_query.py``) reject versions they do not
+#: know.
+PROVENANCE_SCHEMA = 1
+
+#: How many rejected-candidate records a provenance record retains.
+TOP_K = 5
+
+#: Candidate notes kept in memory during one search before compaction.
+_NOTE_LIMIT = 64
+
+
+@dataclass
+class RejectedCandidate:
+    """One rejected rival of the chosen plan.
+
+    ``score_kind`` names what ``score`` measures: complete candidates
+    carry their Eq. 3 ``utility``; pruned children were ranked (and
+    discarded) by ``distance`` to the ideal; abandoned frontier entries
+    carry the heap ``priority``.
+    """
+
+    reason: str
+    score: float
+    score_kind: str
+    actions: tuple[str, ...] = ()
+    #: Aggregated records (``pruned``) cover this many children.
+    count: int = 1
+
+    def to_attrs(self) -> dict:
+        return {
+            "reason": self.reason,
+            "score": self.score,
+            "score_kind": self.score_kind,
+            "actions": list(self.actions),
+            "count": self.count,
+        }
+
+
+@dataclass
+class DecisionProvenance:
+    """The full provenance record for one decision."""
+
+    utility: dict
+    chosen_actions: tuple[str, ...]
+    rejected: list[RejectedCandidate]
+    search: dict
+    fault_debit: float = 0.0
+    per_action: list = field(default_factory=list)
+
+    def apply_fault_debit(self, debit: float) -> None:
+        """Note the fault debt the controller charged against this
+        decision's budget.  Children pruned under a debited budget were
+        rejected *because of* the debt, so their record is relabelled."""
+        if debit <= 0.0:
+            return
+        self.fault_debit = debit
+        for candidate in self.rejected:
+            if candidate.reason == "pruned":
+                candidate.reason = "fault-debited"
+
+    def to_attrs(self) -> dict:
+        """The event payload (plain JSON-encodable dict)."""
+        return {
+            "schema": PROVENANCE_SCHEMA,
+            "utility": dict(self.utility),
+            "chosen_actions": list(self.chosen_actions),
+            "rejected": [candidate.to_attrs() for candidate in self.rejected],
+            "search": dict(self.search),
+            "fault_debit": self.fault_debit,
+            "per_action": list(self.per_action),
+        }
+
+
+def plan_breakdown(
+    estimator,
+    catalog,
+    limits,
+    cost_manager,
+    workloads: Mapping[str, float],
+    wkey: tuple,
+    window: float,
+    ideal_rate: float,
+    start,
+    actions: Sequence,
+) -> tuple[dict, list]:
+    """Replay the chosen action chain and decompose its Eq. 3 utility.
+
+    Reproduces exactly the accrual the search performed per child —
+    ``effective_duration * min(perf_rate + power_rate, ideal_rate)``,
+    accumulated left to right — so ``steady + transient`` matches the
+    vertex utility the search committed to (within float tolerance;
+    the steady estimate may travel the delta path inside the search
+    and the full path here, which are bit-compatible by the PR 1
+    contract).
+
+    Returns ``(totals, per_action)`` where ``totals`` carries the
+    summable terms and ``per_action`` one record per chain action.
+    """
+    configuration = start
+    elapsed = 0.0
+    transient = 0.0
+    transient_perf = 0.0
+    transient_power = 0.0
+    per_action: list[dict] = []
+    for action in actions:
+        steady = estimator.estimate(configuration, workloads, key=wkey)
+        predicted = cost_manager.predict(action, configuration, workloads)
+        perf_rate, power_rate = estimator.transient_rates(
+            steady,
+            workloads,
+            predicted.rt_delta,
+            predicted.power_delta_watts,
+        )
+        effective = min(predicted.duration, max(0.0, window - elapsed))
+        rate = min(perf_rate + power_rate, ideal_rate)
+        contribution = effective * rate
+        per_action.append(
+            {
+                "action": type(action).__name__,
+                "duration": predicted.duration,
+                "effective_seconds": effective,
+                "perf_rate": perf_rate,
+                "power_rate": power_rate,
+                "transient_rate": rate,
+                "utility": contribution,
+            }
+        )
+        configuration = action.apply(configuration, catalog, limits)
+        elapsed += predicted.duration
+        transient += contribution
+        transient_perf += effective * perf_rate
+        transient_power += effective * power_rate
+    remaining = max(0.0, window - elapsed)
+    steady_rate = estimator.estimate(
+        configuration, workloads, key=wkey
+    ).total_rate
+    steady_term = remaining * steady_rate
+    totals = {
+        "steady": steady_term,
+        "transient": transient,
+        "total": steady_term + transient,
+        "transient_perf": transient_perf,
+        "transient_power": transient_power,
+        "steady_rate": steady_rate,
+        "adaptation_seconds": elapsed,
+        "remaining_seconds": remaining,
+    }
+    return totals, per_action
+
+
+class ProvenanceCollector:
+    """Accumulates rejection evidence during one search run.
+
+    The search calls the ``note_*`` hooks from its existing control
+    points; every hook only *reads* already-computed values.  ``build``
+    assembles the final record once the winner is known.
+    """
+
+    __slots__ = (
+        "top_k",
+        "_candidates",
+        "_pruned_count",
+        "_pruned_best",
+        "_deadline_note",
+    )
+
+    def __init__(self, top_k: int = TOP_K) -> None:
+        self.top_k = top_k
+        #: ``(utility, action-name tuple)`` per candidate push.
+        self._candidates: list[tuple[float, tuple[str, ...]]] = []
+        self._pruned_count = 0
+        self._pruned_best: Optional[float] = None
+        self._deadline_note: Optional[tuple[int, Optional[float]]] = None
+
+    # -- hooks (called from the search hot path, gated by the caller) --
+
+    def note_candidate(self, utility: float, actions: Sequence) -> None:
+        """One complete candidate (terminal twin) entered the frontier."""
+        notes = self._candidates
+        notes.append(
+            (utility, tuple(type(action).__name__ for action in actions))
+        )
+        if len(notes) > _NOTE_LIMIT:
+            # Keep the strongest rivals; the winner is by definition
+            # among the top utilities, so compaction never loses it.
+            notes.sort(key=lambda note: note[0], reverse=True)
+            del notes[_NOTE_LIMIT // 2:]
+
+    def note_pruned(self, count: int, best_score: Optional[float]) -> None:
+        """``count`` children were discarded by width pruning;
+        ``best_score`` is the best (lowest) distance among them."""
+        self._pruned_count += count
+        if best_score is not None and (
+            self._pruned_best is None or best_score < self._pruned_best
+        ):
+            self._pruned_best = float(best_score)
+
+    def note_deadline(
+        self, frontier: int, best_priority: Optional[float]
+    ) -> None:
+        """The watchdog fired with ``frontier`` entries abandoned."""
+        self._deadline_note = (frontier, best_priority)
+
+    # -- assembly ------------------------------------------------------
+
+    def build(
+        self,
+        utility: dict,
+        chosen_actions: Sequence[str],
+        predicted_utility: float,
+        search: dict,
+        per_action: Optional[list] = None,
+    ) -> DecisionProvenance:
+        chosen = tuple(chosen_actions)
+        rejected: list[RejectedCandidate] = []
+        ranked = sorted(
+            self._candidates, key=lambda note: note[0], reverse=True
+        )
+        winner_seen = False
+        for value, names in ranked:
+            if (
+                not winner_seen
+                and abs(value - predicted_utility) <= 1e-9
+                and tuple(
+                    name for name in names if name != "NullAction"
+                ) == chosen
+            ):
+                winner_seen = True  # the winner itself is not a rival
+                continue
+            rejected.append(
+                RejectedCandidate(
+                    reason="dominated",
+                    score=value,
+                    score_kind="utility",
+                    actions=names,
+                )
+            )
+            if len(rejected) >= self.top_k:
+                break
+        if self._pruned_count:
+            rejected.append(
+                RejectedCandidate(
+                    reason="pruned",
+                    score=(
+                        self._pruned_best
+                        if self._pruned_best is not None
+                        else float("nan")
+                    ),
+                    score_kind="distance",
+                    count=self._pruned_count,
+                )
+            )
+        if self._deadline_note is not None:
+            frontier, best_priority = self._deadline_note
+            rejected.append(
+                RejectedCandidate(
+                    reason="deadline-aborted",
+                    score=(
+                        best_priority if best_priority is not None else 0.0
+                    ),
+                    score_kind="priority",
+                    count=max(frontier, 1),
+                )
+            )
+        return DecisionProvenance(
+            utility=utility,
+            chosen_actions=chosen,
+            rejected=rejected,
+            search=search,
+            per_action=per_action or [],
+        )

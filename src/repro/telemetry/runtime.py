@@ -41,6 +41,11 @@ from repro.telemetry.trace import (
 #: The one flag every instrumentation site checks.
 enabled: bool = False
 
+#: Whether decision-provenance collection rides along while telemetry
+#: is enabled (see :mod:`repro.telemetry.provenance`).  Only consulted
+#: behind ``enabled`` — with telemetry off this flag costs nothing.
+provenance: bool = True
+
 #: Process-wide instrument registry.
 registry = MetricsRegistry()
 
@@ -52,6 +57,7 @@ def enable(
     jsonl_path: Optional[str] = None,
     sink: Optional[object] = None,
     reset_metrics: bool = True,
+    collect_provenance: bool = True,
 ) -> None:
     """Turn telemetry on.
 
@@ -60,9 +66,12 @@ def enable(
     exclusive with ``jsonl_path``); with neither, events go to an
     in-memory :class:`RingBufferSink`.  ``reset_metrics`` starts the
     registry from zero so one enable/disable pair brackets one
-    measurement window.
+    measurement window.  ``collect_provenance`` attaches a
+    ``decision.provenance`` record to every controller decision (see
+    :mod:`repro.telemetry.provenance`); decisions themselves are
+    bit-identical either way.
     """
-    global enabled
+    global enabled, provenance
     if jsonl_path is not None and sink is not None:
         raise ValueError("pass jsonl_path or sink, not both")
     if jsonl_path is not None:
@@ -73,6 +82,7 @@ def enable(
         registry.reset()
     tracer.set_sink(sink)
     tracer.reset()
+    provenance = collect_provenance
     enabled = True
 
 

@@ -114,6 +114,10 @@ class RunMetrics:
     search_power_watts: TimeSeries = field(
         default_factory=lambda: TimeSeries("search-power")
     )
+    #: One plain-dict ``decision.provenance`` record per controller
+    #: decision (see ``repro.telemetry.provenance``); empty unless the
+    #: run executed with telemetry + provenance collection enabled.
+    decision_provenance: list = field(default_factory=list)
     #: Injected-fault tally (``repro.faults.FaultStats``) when the run
     #: was fault-injected; ``None`` for ordinary runs.
     fault_stats: Optional[object] = None

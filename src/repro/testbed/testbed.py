@@ -580,6 +580,16 @@ class Testbed:
                     now, observed, configuration, busy=cluster.is_adapting()
                 )
             )
+            for decision in decisions:
+                provenance = getattr(decision.outcome, "provenance", None)
+                if provenance is not None:
+                    metrics.decision_provenance.append(
+                        {
+                            "t": now,
+                            "controller": decision.controller,
+                            **provenance.to_attrs(),
+                        }
+                    )
             if not decisions or cluster.is_adapting():
                 return
             actions = []
