@@ -79,6 +79,8 @@ def bench_search(
     window: float = 300.0,
     parallel_workers: Optional[int] = None,
     array_core: Optional[bool] = None,
+    strategy: Optional[str] = None,
+    deadline_seconds: Optional[float] = None,
 ) -> dict:
     """Mean/min time of one adaptation search at one system size.
 
@@ -89,6 +91,13 @@ def bench_search(
     on or off; ``None`` keeps the tree's default.  On checkouts that
     predate a knob the request is silently dropped — those trees only
     have the legacy path anyway.
+
+    ``strategy`` pins the search backend (DESIGN.md §14): ``"astar"``
+    to shield the measurement from the ``MISTRAL_SEARCH_STRATEGY``
+    environment, or a walker name to time its anytime behavior —
+    optionally under ``deadline_seconds``, in which case the row also
+    tallies watchdog aborts and the incumbent utility the walker held
+    when the deadline hit.
     """
     testbed = make_testbed(app_count, seed=0)
     settings_kwargs = {"self_aware": self_aware}
@@ -107,6 +116,14 @@ def bench_search(
         settings_kwargs["parallel_workers"] = parallel_workers
     if array_core is not None and "array_core" in _SETTINGS_FIELDS:
         settings_kwargs["array_core"] = array_core
+    if strategy is not None:
+        if "strategy" not in _SETTINGS_FIELDS:
+            raise ValueError(
+                "this checkout predates pluggable search strategies"
+            )
+        settings_kwargs["strategy"] = strategy
+    if deadline_seconds is not None and "deadline_seconds" in _SETTINGS_FIELDS:
+        settings_kwargs["deadline_seconds"] = deadline_seconds
     search = AdaptationSearch(
         testbed.applications,
         testbed.catalog,
@@ -121,8 +138,10 @@ def bench_search(
     start = initial_configuration(testbed)
     wall: list[float] = []
     cpu: list[float] = []
+    utilities: list[float] = []
     expansions = 0
     evaluations = 0
+    deadline_aborts = 0
     for run in range(runs):
         workloads = _workloads(names, run)
         search.perf_pwr.optimize(workloads)  # warm the shared ideal
@@ -134,6 +153,11 @@ def bench_search(
         wall.append(time.perf_counter() - wall_0)
         expansions += outcome.expansions
         evaluations += testbed.estimator.evaluations - eval_before
+        # float() drops the array-core's numpy scalar so the row stays
+        # JSON-serializable.
+        utilities.append(float(outcome.predicted_utility))
+        if getattr(outcome, "deadline_aborted", False):
+            deadline_aborts += 1
     if hasattr(search, "close_executor"):
         search.close_executor()
     return {
@@ -143,10 +167,14 @@ def bench_search(
         "incremental": incremental,
         "parallel_workers": parallel_workers,
         "array_core": array_core,
+        "strategy": strategy,
+        "deadline_seconds": deadline_seconds,
         "runs": runs,
         "mean_search_seconds": sum(wall) / runs,
         "min_search_seconds": min(wall),
         "mean_cpu_seconds": sum(cpu) / runs,
+        "mean_predicted_utility": sum(utilities) / runs,
+        "deadline_aborts": deadline_aborts,
         "total_expansions": expansions,
         "total_estimator_evaluations": evaluations,
         "incremental_evaluations": getattr(
@@ -228,6 +256,10 @@ def capture_metrics(app_count: int = 2, runs: int = 2) -> Optional[dict]:
     settings_kwargs: dict = {"self_aware": True}
     if "incremental" in _SETTINGS_FIELDS:
         settings_kwargs["incremental"] = True
+    if "strategy" in _SETTINGS_FIELDS:
+        # The captured ratios (prune rate, cache hits) describe the A*
+        # loop; shield them from MISTRAL_SEARCH_STRATEGY environments.
+        settings_kwargs["strategy"] = "astar"
     search = AdaptationSearch(
         testbed.applications,
         testbed.catalog,
@@ -290,6 +322,8 @@ def run_suite(
     incremental_only: bool = False,
     workers: Optional[int] = None,
     metrics_size: Optional[int] = None,
+    strategy: Optional[str] = None,
+    strategy_deadline: Optional[float] = None,
 ) -> dict:
     """The full benchmark payload: searches, solver throughput, and an
     instrumented metrics capture.
@@ -304,6 +338,11 @@ def run_suite(
     reference :func:`summarize_parallel` divides by.  ``metrics_size``
     picks the scenario the instrumented telemetry pass runs at
     (default: the smallest benchmarked size).
+
+    ``strategy`` adds one anytime-walker column per scenario (labelled
+    by the strategy name, with a ``_deadline`` suffix when
+    ``strategy_deadline`` caps the wall clock) so the recorded file
+    tracks the walkers' time/quality next to the exact searches.
     """
     has_array_core = "array_core" in _SETTINGS_FIELDS
     searches: dict[str, dict] = {}
@@ -334,6 +373,20 @@ def run_suite(
                 scenario[f"{label}_full_eval"] = bench_search(
                     app_count, self_aware, incremental=False, runs=runs
                 )
+        if strategy is not None:
+            column = (
+                strategy
+                if strategy_deadline is None
+                else f"{strategy}_deadline"
+            )
+            scenario[column] = bench_search(
+                app_count,
+                self_aware=True,
+                incremental=True,
+                runs=runs,
+                strategy=strategy,
+                deadline_seconds=strategy_deadline,
+            )
         searches[f"apps-{app_count}"] = scenario
     solver = {
         f"apps-{app_count}": bench_solver(app_count) for app_count in sizes

@@ -105,10 +105,17 @@ def measure(sizes: tuple[int, ...], runs: int) -> dict:
 
     from repro.telemetry import runtime as telemetry
 
+    # The gate's counters describe the exact A* tree; pin the backend so
+    # a MISTRAL_SEARCH_STRATEGY environment (e.g. the walker CI leg)
+    # cannot swap the search out from under the recorded tolerances.
     search: dict[str, dict] = {}
     for app_count in sizes:
         row = search_harness.bench_search(
-            app_count, self_aware=True, incremental=True, runs=runs
+            app_count,
+            self_aware=True,
+            incremental=True,
+            runs=runs,
+            strategy="astar",
         )
         search[f"apps-{app_count}"] = {
             "mean_search_seconds": row["mean_search_seconds"],
@@ -125,7 +132,11 @@ def measure(sizes: tuple[int, ...], runs: int) -> dict:
         try:
             for app_count in sizes:
                 search_harness.bench_search(
-                    app_count, self_aware=True, incremental=True, runs=runs
+                    app_count,
+                    self_aware=True,
+                    incremental=True,
+                    runs=runs,
+                    strategy="astar",
                 )
             telemetry.flush()
         finally:

@@ -47,7 +47,9 @@ def _bootstrap(src: Path) -> None:
 
 def _measure(src: Path, sizes: tuple[int, ...], runs: int,
              incremental_only: bool, workers: int | None = None,
-             metrics_size: int | None = None) -> dict:
+             metrics_size: int | None = None,
+             strategy: str | None = None,
+             strategy_deadline: float | None = None) -> dict:
     _bootstrap(src)
     for name in [
         name for name in sys.modules if name.startswith("search_harness")
@@ -62,6 +64,11 @@ def _measure(src: Path, sizes: tuple[int, ...], runs: int,
         kwargs["workers"] = workers
     if metrics_size is not None:
         kwargs["metrics_size"] = metrics_size
+    if strategy is not None:
+        # Likewise the pluggable-strategy column: never asked of a
+        # --baseline-src checkout.
+        kwargs["strategy"] = strategy
+        kwargs["strategy_deadline"] = strategy_deadline
     return search_harness.run_suite(
         sizes=sizes, runs=runs, incremental_only=incremental_only, **kwargs
     )
@@ -131,11 +138,14 @@ def _history_row(payload: dict) -> dict:
     — without the full payload's nested detail.
     """
     meta = payload["meta"]
+    history_labels = ("naive", "self_aware", "self_aware_parallel")
     timings = {
         scenario: {
             label: entry[label]["mean_search_seconds"]
-            for label in ("naive", "self_aware", "self_aware_parallel")
-            if label in entry
+            for label in entry
+            # Strategy columns (e.g. ``mcts_deadline``) are tagged by
+            # their own label so trajectory rows separate per backend.
+            if label in history_labels or entry[label].get("strategy")
         }
         for scenario, entry in payload["current"]["search"].items()
     }
@@ -149,6 +159,8 @@ def _history_row(payload: dict) -> dict:
         "runs_per_scenario": meta["runs_per_scenario"],
         "sizes": meta["sizes"],
         "parallel_workers": meta["parallel_workers"],
+        "search_strategy": meta.get("search_strategy"),
+        "strategy_deadline_seconds": meta.get("strategy_deadline_seconds"),
         "mean_search_seconds": timings,
         "speedup_vs_baseline": payload["speedup_vs_baseline"],
         "parallel_speedup": payload.get("parallel_speedup"),
@@ -194,6 +206,22 @@ def main(argv: list[str] | None = None) -> int:
         "column times the batched evaluation stage)",
     )
     parser.add_argument(
+        "--strategy",
+        type=str,
+        default=None,
+        help="add a per-scenario column timing this pluggable search "
+        "strategy (e.g. 'mcts'); measured only on the current tree",
+    )
+    parser.add_argument(
+        "--strategy-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap the --strategy column's searches with the anytime "
+        "deadline watchdog; the column then also counts watchdog "
+        "aborts and records the incumbent utility at the deadline",
+    )
+    parser.add_argument(
         "--metrics-size",
         type=int,
         default=None,
@@ -224,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers must be >= 1")
     if args.metrics_size is not None and args.metrics_size not in args.sizes:
         parser.error("--metrics-size must be one of --sizes")
+    if args.strategy_deadline is not None and args.strategy is None:
+        parser.error("--strategy-deadline requires --strategy")
+    if args.strategy_deadline is not None and args.strategy_deadline <= 0:
+        parser.error("--strategy-deadline must be positive")
     sizes = tuple(args.sizes)
 
     dirty = _git_dirty()
@@ -242,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
     current = _measure(
         REPO_ROOT / "src", sizes, args.runs, args.skip_full_eval,
         workers=args.workers, metrics_size=args.metrics_size,
+        strategy=args.strategy, strategy_deadline=args.strategy_deadline,
     )
 
     if args.baseline_src is not None:
@@ -283,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
             "runs_per_scenario": args.runs,
             "sizes": list(sizes),
             "parallel_workers": args.workers,
+            "search_strategy": args.strategy,
+            "strategy_deadline_seconds": args.strategy_deadline,
         },
         "baseline": baseline,
         "current": current,
@@ -318,6 +353,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"parallel evaluation speedup (--workers {args.workers}):")
         for scenario, ratio in payload["parallel_speedup"].items():
             print(f"  {scenario}: {f'{ratio:.2f}x' if ratio else 'n/a'}")
+    if args.strategy is not None:
+        column = (
+            args.strategy
+            if args.strategy_deadline is None
+            else f"{args.strategy}_deadline"
+        )
+        print(f"strategy column ({column}):")
+        for scenario, entry in current["search"].items():
+            row = entry.get(column)
+            if row is None:
+                continue
+            print(
+                f"  {scenario}: {row['mean_search_seconds']:.3f}s mean, "
+                f"utility {row['mean_predicted_utility']:.1f}, "
+                f"{row['deadline_aborts']}/{row['runs']} deadline aborts"
+            )
     return 0
 
 

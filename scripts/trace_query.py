@@ -273,6 +273,28 @@ def render_decision(index: int, span: dict, provenance: dict | None) -> str:
             f"array_core={search.get('array_core', False)} "
             f"wall={search.get('wall_seconds', 0.0):.4f}s"
         )
+        # Walker-produced records carry the backend name plus its own
+        # tallies (rollout_steps/tree_nodes for MCTS, accepted_moves/
+        # restarts for annealing, ...); print whatever is there so the
+        # drill-down identifies the backend without a schema bump.
+        known = {
+            "expansions", "children_generated", "children_pruned",
+            "candidates", "pruning_activated", "optimal", "early_return",
+            "deadline_aborted", "self_aware", "incremental", "parallel",
+            "array_core", "wall_seconds", "decision_seconds",
+        }
+        extras = {
+            key: value
+            for key, value in search.items()
+            if key not in known
+        }
+        if extras:
+            strategy = extras.pop("strategy", None)
+            parts = [f"strategy={strategy}"] if strategy else []
+            parts.extend(
+                f"{key}={value}" for key, value in sorted(extras.items())
+            )
+            out.append("          " + " ".join(parts))
     return "\n".join(out)
 
 

@@ -97,6 +97,14 @@ LOCAL_ACTION_KINDS: frozenset[str] = frozenset(
     {"increase_cpu", "decrease_cpu", "migrate"}
 )
 
+#: Pluggable search backends (DESIGN.md §14): the paper's exact A*
+#: ("astar", the default), a seeded UCB-guided Monte-Carlo tree search
+#: ("mcts"), and a seeded simulated-annealing walker ("annealing").
+#: All three share the action-enumeration space, the incremental
+#: evaluation machinery, and the SearchOutcome shape; only "astar"
+#: proves optimality, while the stochastic backends are anytime.
+STRATEGY_KINDS: tuple[str, ...] = ("astar", "mcts", "annealing")
+
 
 @dataclass(frozen=True)
 class SearchSettings:
@@ -201,6 +209,46 @@ class SearchSettings:
     #: environment variable (on unless set falsy).  Requires
     #: ``incremental``; outcomes are bit-identical to the scalar path.
     array_core: Optional[bool] = None
+    #: Search backend (DESIGN.md §14): one of :data:`STRATEGY_KINDS`.
+    #: ``None`` consults the ``MISTRAL_SEARCH_STRATEGY`` environment
+    #: variable and falls back to ``"astar"`` — the pre-refactor exact
+    #: A* loop, bit-identical to its un-extracted form.  ``"mcts"`` and
+    #: ``"annealing"`` are seeded anytime backends: deterministic under
+    #: a fixed ``strategy_seed``, they keep a feasible incumbent at all
+    #: times and return it on any abort (deadline watchdog included).
+    strategy: Optional[str] = None
+    #: Seed of the stochastic backends' private RNG.  Two searches with
+    #: the same seed, inputs and knobs make identical decisions; the
+    #: exact A* ignores it.
+    strategy_seed: int = 0
+    #: Proposal width of the stochastic walkers: each step considers
+    #: only the ``walker_branch_limit`` enumerated actions closest to
+    #: the ideal configuration (weighted-Euclidean distance — the same
+    #: ranking the self-aware prune uses).
+    walker_branch_limit: int = 16
+    #: MCTS simulation budget per search.  The search "completes" (is
+    #: not deadline-aborted) when this budget is exhausted before the
+    #: watchdog fires.
+    mcts_iterations: int = 192
+    #: UCB1 exploration constant, in units of the normalized reward
+    #: (0 = pure exploitation).
+    mcts_exploration: float = 0.7
+    #: Random-rollout depth below each newly expanded tree node.
+    mcts_rollout_depth: int = 4
+    #: Annealing step budget per search.  A step is one proposed child
+    #: (cheap next to an MCTS iteration's scored rollout), so the
+    #: budget is correspondingly larger.
+    annealing_iterations: int = 2400
+    #: Initial temperature, as a fraction of the search's utility scale
+    #: (the ideal-vs-null utility gap over the window).
+    annealing_initial_temperature: float = 0.35
+    #: Geometric cooling factor applied once per step (the default
+    #: reaches ~10% of the initial temperature over the default step
+    #: budget).
+    annealing_cooling: float = 0.999
+    #: Consecutive rejected/inapplicable moves before the walker
+    #: teleports back to its best incumbent (anytime restarts).
+    annealing_restart_interval: int = 60
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -219,6 +267,26 @@ class SearchSettings:
             raise ValueError("batch_size must be >= 1")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive (or None)")
+        if self.strategy is not None and self.strategy not in STRATEGY_KINDS:
+            raise ValueError(
+                f"strategy must be one of {STRATEGY_KINDS} (or None)"
+            )
+        if self.walker_branch_limit < 1:
+            raise ValueError("walker_branch_limit must be >= 1")
+        if self.mcts_iterations < 1:
+            raise ValueError("mcts_iterations must be >= 1")
+        if self.mcts_exploration < 0:
+            raise ValueError("mcts_exploration must be >= 0")
+        if self.mcts_rollout_depth < 0:
+            raise ValueError("mcts_rollout_depth must be >= 0")
+        if self.annealing_iterations < 1:
+            raise ValueError("annealing_iterations must be >= 1")
+        if self.annealing_initial_temperature <= 0:
+            raise ValueError("annealing_initial_temperature must be positive")
+        if not 0.0 < self.annealing_cooling <= 1.0:
+            raise ValueError("annealing_cooling must be in (0, 1]")
+        if self.annealing_restart_interval < 1:
+            raise ValueError("annealing_restart_interval must be >= 1")
 
 
 @dataclass
@@ -251,6 +319,9 @@ class SearchOutcome:
     #: ``None``.  Observational only — excluded from the bit-identity
     #: contract along with the measured wall fields.
     provenance: Optional[object] = None
+    #: Name of the :data:`STRATEGY_KINDS` backend that produced this
+    #: outcome (set by the dispatching ``AdaptationSearch.search``).
+    strategy: str = "astar"
 
     @property
     def is_null(self) -> bool:
@@ -754,12 +825,68 @@ class AdaptationSearch:
     ) -> SearchOutcome:
         """Find the action sequence maximizing Eq. 3 over the window.
 
+        Dispatches to the configured :class:`SearchStrategy` backend
+        (``settings.strategy`` → ``MISTRAL_SEARCH_STRATEGY`` → the
+        default ``"astar"``; see DESIGN.md §14).  ``"astar"`` runs the
+        exact A* loop below with bit-identical outcomes to the
+        pre-strategy code; ``"mcts"``/``"annealing"`` run the seeded
+        anytime walkers in :mod:`repro.core.strategies`.
+
         ``expected_utility``/``expected_rate`` seed the self-aware
         budget ``UH`` (the paper uses the lowest of recent utilities);
         they default to the ideal utility over the window.
         ``settings_override`` swaps the search settings for this one run
         (the resilience ladder's degraded rung forces a pruned
         self-aware search with a reduced expansion budget).
+        """
+        # Imported lazily: strategies.py imports this module's classes,
+        # so a module-level import here would be circular.
+        from repro.core.strategies import resolve_strategy
+
+        settings = (
+            self.settings if settings_override is None else settings_override
+        )
+        strategy = resolve_strategy(settings.strategy)
+        outcome = strategy.run(
+            self,
+            current,
+            workloads,
+            control_window,
+            expected_utility=expected_utility,
+            expected_rate=expected_rate,
+            settings_override=settings_override,
+        )
+        outcome.strategy = strategy.name
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter(f"search.strategy.{strategy.name}.runs").inc()
+            _telemetry.tracer.event(
+                "search.strategy",
+                strategy=strategy.name,
+                wall_seconds=outcome.wall_seconds,
+                expansions=outcome.expansions,
+                decision_seconds=outcome.decision_seconds,
+                predicted_utility=outcome.predicted_utility,
+                actions=len(outcome.actions),
+                deadline_aborted=outcome.deadline_aborted,
+                optimal=outcome.optimal,
+            )
+        return outcome
+
+    def _astar_search(
+        self,
+        current: Configuration,
+        workloads: Mapping[str, float],
+        control_window: float,
+        expected_utility: Optional[float] = None,
+        expected_rate: Optional[float] = None,
+        settings_override: Optional[SearchSettings] = None,
+    ) -> SearchOutcome:
+        """The paper's exact Naive / Self-Aware A* (Algorithm 1).
+
+        Every return path of the pre-strategy ``search`` is preserved
+        verbatim — the ``"astar"`` strategy is this method, so its
+        outcomes are bit-identical to the un-extracted loop.
         """
         wall_start = time.perf_counter()
         settings = (

@@ -38,8 +38,15 @@ from repro.workload.traces import standard_traces
 #: Hosts per scenario size.  1-4 apps match Table I; the 5- and 6-app
 #: rows extrapolate the paper's 2-hosts-per-app ratio to give the
 #: parallel-evaluation benchmarks a size where rounds are wide enough
-#: to amortize batching.
-HOSTS_FOR_APPS = {1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12}
+#: to amortize batching.  The 10-25-app tier (20-50 hosts, the ROADMAP
+#: north-star scale) exists for the anytime strategies: the exact A*
+#: frontier explodes there and only returns a plan by deadline abort,
+#: while the stochastic walkers keep improving an incumbent
+#: (docs/SEARCH_STRATEGIES.md).
+HOSTS_FOR_APPS = {
+    1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12,
+    10: 20, 16: 32, 25: 50,
+}
 
 #: The paper's workload bands per controller level (req/s).
 LEVEL1_BAND = 0.0
@@ -137,6 +144,7 @@ def build_mistral(
     enable_feedback: bool = True,
     enable_trend: bool = True,
     parallel_workers: Optional[int] = None,
+    search_strategy: Optional[str] = None,
 ) -> tuple[object, Configuration]:
     """Mistral: two-level hierarchy (or a single global controller).
 
@@ -144,6 +152,11 @@ def build_mistral(
     ``enable_feedback`` / ``enable_trend`` switch off the online
     model-feedback calibration and the workload-trend extrapolation
     (the ablation benchmarks exercise these).
+
+    ``search_strategy`` selects the search backend every controller
+    plans with (``"astar"``/``"mcts"``/``"annealing"``, DESIGN.md §14);
+    ``None`` defers to ``SearchSettings.strategy`` and the
+    ``MISTRAL_SEARCH_STRATEGY`` environment variable.
 
     ``parallel_workers >= 2`` additionally (a) lets every search score
     expansion rounds through the batched evaluator (DESIGN.md §11) and
@@ -229,6 +242,8 @@ def build_mistral(
             settings = replace(settings, max_expansions=2500)
         if parallel_workers is not None and search_settings is None:
             settings = replace(settings, parallel_workers=parallel_workers)
+        if search_strategy is not None:
+            settings = replace(settings, strategy=search_strategy)
         search_estimator = estimator
         search_optimizer = optimizer
         if private:

@@ -268,6 +268,7 @@ class Testbed:
         resilience: Optional[DegradationSettings] = None,
         parallel: Optional[int] = None,
         checkpoint: Optional[object] = None,
+        search_strategy: Optional[str] = None,
     ) -> RunMetrics:
         """Run one strategy over the horizon and collect metrics.
 
@@ -283,6 +284,13 @@ class Testbed:
         pools the run started are always released before it returns,
         whether or not ``parallel`` was given (controllers built with
         their own ``parallel_workers`` rebuild pools on demand).
+
+        ``search_strategy`` (``"astar"``/``"mcts"``/``"annealing"``)
+        repoints every search the controller owns at that backend for
+        this run (DESIGN.md §14); ``None`` leaves whatever the searches
+        were built with.  Note this is the *search* backend — the
+        positional ``strategy`` argument labels the controller variant
+        in the metrics.
 
         ``faults`` attaches a seeded :class:`FaultInjector` to the run:
         scripted host crashes are scheduled, monitoring samples may be
@@ -312,6 +320,11 @@ class Testbed:
             for search in _searches_of(controller):
                 search.settings = replace_params(
                     search.settings, parallel_workers=parallel
+                )
+        if search_strategy is not None:
+            for search in _searches_of(controller):
+                search.settings = replace_params(
+                    search.settings, strategy=search_strategy
                 )
         store = None
         if checkpoint is not None:

@@ -38,6 +38,15 @@ OUTCOME_FIELDS = (
     "optimal",
 )
 
+
+@pytest.fixture(autouse=True)
+def _pin_astar_backend(monkeypatch):
+    """This suite specifies the A* loop itself; the
+    MISTRAL_SEARCH_STRATEGY CI leg must not swap the backend here."""
+    monkeypatch.delenv("MISTRAL_SEARCH_STRATEGY", raising=False)
+
+
+
 VM_UNIVERSE = tuple(f"vm-{index}" for index in range(8))
 HOST_UNIVERSE = tuple(f"host-{index}" for index in range(5))
 

@@ -22,6 +22,15 @@ from repro.testbed.scenarios import (
     make_testbed,
 )
 
+
+@pytest.fixture(autouse=True)
+def _pin_astar_backend(monkeypatch):
+    """This suite specifies the A* loop itself; the
+    MISTRAL_SEARCH_STRATEGY CI leg must not swap the backend here."""
+    monkeypatch.delenv("MISTRAL_SEARCH_STRATEGY", raising=False)
+
+
+
 CAP_STEPS = tuple(round(0.1 * step, 10) for step in range(1, 11))
 
 

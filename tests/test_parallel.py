@@ -39,8 +39,11 @@ OUTCOME_FIELDS = (
 
 
 def _make_search(testbed, **settings_kwargs) -> AdaptationSearch:
+    # The parallel-evaluation contract is about the A* expansion rounds;
+    # pin the backend so the MISTRAL_SEARCH_STRATEGY CI leg cannot swap
+    # the search out from under these assertions.
     settings = SearchSettings(
-        self_aware=True, incremental=True, **settings_kwargs
+        self_aware=True, incremental=True, strategy="astar", **settings_kwargs
     )
     return AdaptationSearch(
         testbed.applications,

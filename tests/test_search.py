@@ -13,6 +13,14 @@ from repro.core.search import (
 HOSTS = ("host-0", "host-1", "host-2", "host-3")
 
 
+@pytest.fixture(autouse=True)
+def _pin_astar_backend(monkeypatch):
+    """This suite specifies the A* loop itself; the
+    MISTRAL_SEARCH_STRATEGY CI leg must not swap the backend here."""
+    monkeypatch.delenv("MISTRAL_SEARCH_STRATEGY", raising=False)
+
+
+
 @pytest.fixture
 def search(apps, catalog, limits, estimator, cost_manager, optimizer):
     return AdaptationSearch(

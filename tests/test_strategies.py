@@ -1,0 +1,333 @@
+"""Pluggable search strategy conformance (DESIGN.md §14).
+
+The contract under test, shared by every backend behind
+``SearchSettings.strategy``:
+
+- ``"astar"`` is the pre-refactor exact loop — dispatching through the
+  strategy layer must be bit-identical to calling it directly, under
+  every executor backing and with the array core on or off.
+- The stochastic walkers are deterministic under a fixed seed, return
+  a feasible (replayable) plan or an explicit no-op, respect the
+  deadline watchdog, and stamp ``SearchOutcome.strategy``.
+- Strategy selection flows through ``SearchSettings.strategy``, the
+  ``MISTRAL_SEARCH_STRATEGY`` environment variable, ``build_mistral``
+  and ``Testbed.run`` — with unknown names failing loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.search import (
+    STRATEGY_KINDS,
+    AdaptationSearch,
+    SearchSettings,
+)
+from repro.core.strategies import resolve_strategy, resolve_strategy_name
+from repro.testbed.scenarios import (
+    _global_perf_pwr,
+    build_mistral,
+    initial_configuration,
+)
+
+#: Everything a search outcome decides; ``wall_seconds`` and the
+#: ``pool_*`` tallies are measured time, excluded by the contract.
+OUTCOME_FIELDS = (
+    "actions",
+    "final_configuration",
+    "predicted_utility",
+    "expansions",
+    "decision_seconds",
+    "pruning_activated",
+    "optimal",
+    "deadline_aborted",
+    "strategy",
+)
+
+WALKERS = ("mcts", "annealing")
+
+
+def _make_search(testbed, **settings_kwargs) -> AdaptationSearch:
+    settings = SearchSettings(
+        self_aware=True, incremental=True, **settings_kwargs
+    )
+    return AdaptationSearch(
+        testbed.applications,
+        testbed.catalog,
+        testbed.limits,
+        testbed.estimator,
+        testbed.cost_manager,
+        _global_perf_pwr(testbed),
+        testbed.host_ids,
+        settings=settings,
+    )
+
+
+def _high_workloads(testbed, run: int = 0) -> dict[str, float]:
+    """Load that forces a real multi-round search (harness methodology)."""
+    return {
+        name: 45.0 + 5.0 * index + run
+        for index, name in enumerate(testbed.applications.names())
+    }
+
+
+def _run(search, testbed, run: int = 0):
+    start = initial_configuration(testbed)
+    workloads = _high_workloads(testbed, run)
+    try:
+        return search.search(start, workloads, 300.0)
+    finally:
+        search.close_executor()
+
+
+def _assert_outcomes_identical(reference, candidate) -> None:
+    for field in OUTCOME_FIELDS:
+        assert getattr(candidate, field) == getattr(reference, field), field
+
+
+# -- selection plumbing --------------------------------------------------------
+
+
+def test_strategy_kinds_registry_complete():
+    """Every declared strategy kind resolves to a runnable backend."""
+    assert STRATEGY_KINDS == ("astar", "mcts", "annealing")
+    for name in STRATEGY_KINDS:
+        assert resolve_strategy(name).name == name
+
+
+def test_unknown_strategy_fails_loudly():
+    with pytest.raises(ValueError, match="unknown search strategy"):
+        resolve_strategy_name("beam")
+    with pytest.raises(ValueError):
+        SearchSettings(strategy="beam")
+
+
+def test_env_var_selects_strategy(monkeypatch, small_testbed):
+    """``strategy=None`` defers to MISTRAL_SEARCH_STRATEGY."""
+    monkeypatch.setenv("MISTRAL_SEARCH_STRATEGY", "annealing")
+    assert resolve_strategy_name(None) == "annealing"
+    outcome = _run(_make_search(small_testbed), small_testbed)
+    assert outcome.strategy == "annealing"
+    monkeypatch.delenv("MISTRAL_SEARCH_STRATEGY")
+    assert resolve_strategy_name(None) == "astar"
+
+
+def test_env_var_unknown_name_raises(monkeypatch):
+    monkeypatch.setenv("MISTRAL_SEARCH_STRATEGY", "hillclimb")
+    with pytest.raises(ValueError, match="hillclimb"):
+        resolve_strategy_name(None)
+
+
+def test_build_mistral_wires_strategy(small_testbed):
+    controller, _ = build_mistral(small_testbed, search_strategy="mcts")
+    searches = [level1.search for level1 in controller.level1] + [
+        controller.level2.search
+    ]
+    assert searches
+    for search in searches:
+        assert search.settings.strategy == "mcts"
+
+
+def test_testbed_run_repoints_strategy(small_testbed):
+    controller, start = build_mistral(small_testbed)
+    try:
+        small_testbed.run(
+            controller,
+            start,
+            "mistral",
+            horizon=900.0,
+            search_strategy="annealing",
+        )
+    finally:
+        if hasattr(controller, "shutdown_parallel"):
+            controller.shutdown_parallel()
+    for level1 in controller.level1:
+        assert level1.search.settings.strategy == "annealing"
+    assert controller.level2.search.settings.strategy == "annealing"
+
+
+def test_outcome_stamps_strategy(small_testbed):
+    for name in STRATEGY_KINDS:
+        outcome = _run(_make_search(small_testbed, strategy=name), small_testbed)
+        assert outcome.strategy == name
+
+
+# -- astar bit-identity --------------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+@pytest.mark.parametrize("array_core", [True, False])
+def test_astar_dispatch_bit_identical(executor, array_core, small_testbed):
+    """``strategy="astar"`` through the dispatcher reproduces the direct
+    A* loop exactly — across executor backings and the array core."""
+    workers = 1 if executor == "serial" else 2
+    kwargs = dict(
+        parallel_workers=workers,
+        parallel_executor=executor,
+        array_core=array_core,
+    )
+    direct_search = _make_search(small_testbed, **kwargs)
+    start = initial_configuration(small_testbed)
+    workloads = _high_workloads(small_testbed)
+    try:
+        direct = direct_search._astar_search(
+            start, workloads, 300.0, None, None, None
+        )
+    finally:
+        direct_search.close_executor()
+    dispatched = _run(
+        _make_search(small_testbed, strategy="astar", **kwargs),
+        small_testbed,
+    )
+    for field in OUTCOME_FIELDS:
+        if field == "strategy":
+            continue  # the dispatcher stamps it post-hoc
+        assert getattr(dispatched, field) == getattr(direct, field), field
+    assert dispatched.strategy == "astar"
+
+
+def test_astar_default_unchanged(small_testbed, monkeypatch):
+    """No strategy anywhere (settings or env) → the exact A*."""
+    monkeypatch.delenv("MISTRAL_SEARCH_STRATEGY", raising=False)
+    outcome = _run(_make_search(small_testbed), small_testbed)
+    assert outcome.strategy == "astar"
+
+
+# -- walker conformance --------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_seed_determinism(name, small_testbed):
+    """Two runs with the same seed decide identically; the wall clock
+    only feeds the (disabled) watchdog."""
+    first = _run(
+        _make_search(small_testbed, strategy=name, strategy_seed=7),
+        small_testbed,
+    )
+    second = _run(
+        _make_search(small_testbed, strategy=name, strategy_seed=7),
+        small_testbed,
+    )
+    _assert_outcomes_identical(first, second)
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_plan_is_replayable(name, small_testbed):
+    """The returned plan applies cleanly action-by-action from the
+    start configuration and lands exactly on ``final_configuration``
+    (feasible), or is the explicit no-op (empty plan, start config)."""
+    outcome = _run(_make_search(small_testbed, strategy=name), small_testbed)
+    configuration = initial_configuration(small_testbed)
+    for action in outcome.actions:
+        configuration = action.apply(
+            configuration, small_testbed.catalog, small_testbed.limits
+        )
+    assert configuration == outcome.final_configuration
+    if not outcome.actions:
+        assert outcome.final_configuration == initial_configuration(
+            small_testbed
+        )
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_beats_or_matches_null_plan(name, small_testbed):
+    """Anytime invariant: the incumbent starts at the explicit null
+    plan, so the returned plan never predicts worse than doing
+    nothing."""
+    start = initial_configuration(small_testbed)
+    workloads = _high_workloads(small_testbed)
+    null_value = (
+        300.0
+        * small_testbed.estimator.estimate(start, workloads).total_rate
+    )
+    search = _make_search(small_testbed, strategy=name)
+    try:
+        outcome = search.search(start, workloads, 300.0)
+    finally:
+        search.close_executor()
+    assert outcome.predicted_utility >= null_value - 1e-9
+
+
+@pytest.mark.parametrize("name", STRATEGY_KINDS)
+def test_deadline_watchdog_bounds_overshoot(name, small_testbed):
+    """An already-expired deadline aborts every strategy almost
+    immediately — the cooperative check runs at least once per
+    iteration/rollout step, so the overshoot is bounded by one step,
+    and the outcome still carries a feasible incumbent."""
+    search = _make_search(
+        small_testbed, strategy=name, deadline_seconds=1e-9
+    )
+    start = initial_configuration(small_testbed)
+    workloads = _high_workloads(small_testbed)
+    try:
+        outcome = search.search(start, workloads, 300.0)
+    finally:
+        search.close_executor()
+    assert outcome.deadline_aborted
+    # Generous bound: one expansion/rollout step, not a full search.
+    assert outcome.wall_seconds < 30.0
+    configuration = start
+    for action in outcome.actions:
+        configuration = action.apply(
+            configuration, small_testbed.catalog, small_testbed.limits
+        )
+    assert configuration == outcome.final_configuration
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_deadline_none_is_deterministic_anytime(name, small_testbed):
+    """Without a deadline the walkers never read the wall clock on the
+    decision path: a deadline far in the future decides exactly like no
+    deadline at all."""
+    relaxed = _run(
+        _make_search(small_testbed, strategy=name, deadline_seconds=3600.0),
+        small_testbed,
+    )
+    unbounded = _run(
+        _make_search(small_testbed, strategy=name), small_testbed
+    )
+    for field in OUTCOME_FIELDS:
+        if field == "deadline_aborted":
+            continue
+        assert getattr(relaxed, field) == getattr(unbounded, field), field
+    assert not relaxed.deadline_aborted
+    assert not unbounded.deadline_aborted
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_emits_strategy_telemetry(name, small_testbed):
+    """Each walker run lands the per-strategy counters and the
+    dispatcher's ``search.strategy`` selection counter."""
+    from repro import telemetry
+
+    telemetry.enable()
+    try:
+        _run(_make_search(small_testbed, strategy=name), small_testbed)
+        snapshot = telemetry.runtime.registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters.get(f"search.strategy.{name}.runs", 0) >= 1
+        assert counters.get(f"search.strategy.{name}.iterations", 0) >= 1
+        assert counters.get(f"search.strategy.{name}.evaluations", 0) >= 1
+    finally:
+        telemetry.disable()
+
+
+def test_walker_settings_validated():
+    with pytest.raises(ValueError):
+        SearchSettings(mcts_iterations=0)
+    with pytest.raises(ValueError):
+        SearchSettings(annealing_cooling=1.5)
+    with pytest.raises(ValueError):
+        SearchSettings(walker_branch_limit=0)
+
+
+def test_settings_are_immutable_value_objects():
+    """Strategy fields ride the frozen dataclass like every other
+    setting — ``dataclasses.replace`` is the way to vary them."""
+    settings = SearchSettings(strategy="mcts", strategy_seed=3)
+    replaced = dataclasses.replace(settings, strategy="annealing")
+    assert settings.strategy == "mcts"
+    assert replaced.strategy == "annealing"
+    assert replaced.strategy_seed == 3

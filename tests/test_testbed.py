@@ -81,7 +81,12 @@ def test_run_metrics_summary():
 
 
 def test_hosts_for_apps_table():
-    assert HOSTS_FOR_APPS == {1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12}
+    assert HOSTS_FOR_APPS == {
+        1: 2, 2: 4, 3: 6, 4: 8, 5: 10, 6: 12,
+        10: 20, 16: 32, 25: 50,
+    }
+    # Every tier keeps the paper's 2-hosts-per-app ratio.
+    assert all(hosts == 2 * apps for apps, hosts in HOSTS_FOR_APPS.items())
     with pytest.raises(ValueError):
         make_testbed(app_count=9)
 
