@@ -1,0 +1,468 @@
+#!/usr/bin/env python
+"""Seeded chaos soak over the hardened search stack.
+
+Sweeps fault schedules against the (strategy x executor x array-core)
+matrix on the 2-app testbed, with the post-decision invariant checker
+refereeing every committed decision:
+
+- three fault schedules — ``infra`` (action failures/stalls, a host
+  crash, monitoring drop/stale), ``workers`` (pool-worker SIGKILLs and
+  shared-memory corruption), ``persistence`` (checkpoint-write rot,
+  injected solver faults, walker stalls against the watchdog);
+- chaos cells run every schedule x {astar, mcts} x {serial, process}
+  x array-core {off, on}, each with a checkpoint lineage that is
+  loaded and restored afterwards (exercising quarantine + ring
+  rollback when the newest snapshot rotted);
+- control cells run faults-off across the same backend matrix and must
+  produce **bit-identical** run traces (utility, power, action records,
+  final configuration) per strategy — the hardening layers must cost
+  nothing when nothing fails.
+
+The soak fails (non-zero exit) on any invariant violation, any
+unhandled exception, any faults-off identity break, or a corrupt
+restore that the store failed to refuse.  Results land in
+``results/chaos_scorecard.txt`` (folded into EXPERIMENTS.md by
+``scripts/build_experiments_md.py``) and the full telemetry trace in a
+JSONL file for ``scripts/telemetry_report.py`` / CI artifacts.
+
+Usage::
+
+    python scripts/run_chaos.py                 # full soak
+    python scripts/run_chaos.py --smoke         # reduced CI matrix
+    python scripts/run_chaos.py --seed 7 --trace /tmp/chaos.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import traceback
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.checkpoint import CheckpointError, CheckpointStore, restore
+from repro.core.search import SearchSettings
+from repro.faults import FaultConfig, HostCrash
+from repro.telemetry import runtime as telemetry
+from repro.testbed import build_mistral, make_testbed
+
+#: Simulated horizons (seconds): enough monitoring windows for the
+#: hierarchy to escape its bands and decide several times.
+FULL_HORIZON = 1800.0
+SMOKE_HORIZON = 960.0
+
+
+def fault_schedules(seed: int) -> dict:
+    """The named fault schedules, each a seeded :class:`FaultConfig`.
+
+    Seeds are offset per schedule so zeroing one schedule's knobs never
+    shifts another's draws (the injector is per-run anyway; the offsets
+    keep the schedules visibly independent).
+    """
+    return {
+        # The PR-3 families: the world misbehaves around the controller.
+        "infra": FaultConfig(
+            seed=seed + 1,
+            default_fail_probability=0.15,
+            default_stall_probability=0.10,
+            sample_drop_probability=0.05,
+            sample_stale_probability=0.05,
+            host_crashes=(HostCrash(time=1080.0, host_id="host-3"),),
+        ),
+        # The controller's own execution substrate misbehaves.
+        "workers": FaultConfig(
+            seed=seed + 2,
+            worker_kill_probability=0.25,
+            shm_corruption_probability=0.25,
+            shm_corruption_mode="flip",
+        ),
+        # Persistence and the walkers misbehave.
+        "persistence": FaultConfig(
+            seed=seed + 3,
+            checkpoint_corruption_probability=0.30,
+            solver_exception_probability=0.05,
+            strategy_stall_probability=0.05,
+            strategy_stall_seconds=0.05,
+        ),
+    }
+
+
+@dataclass
+class CellResult:
+    """Everything one soak cell produced, for the scorecard."""
+
+    schedule: str  # "none" for control cells
+    strategy: str
+    executor: str  # "serial" | "process"
+    array: bool
+    decisions: int = 0
+    actions: int = 0
+    faults: int = 0
+    respawns: int = 0
+    strategy_failures: int = 0
+    watchdog_aborts: int = 0
+    violations: int = 0
+    checkpoint: str = "-"  # "ok" | "rolled_back" | "lost" | "-"
+    error: Optional[str] = None
+    signature: Optional[tuple] = None
+    violation_details: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        array = "on" if self.array else "off"
+        return (
+            f"{self.schedule}/{self.strategy}/{self.executor}/array-{array}"
+        )
+
+
+def _controller_stats(controller):
+    """Summed ControllerStats across a hierarchy (or one controller)."""
+    members = (
+        controller.controllers()
+        if hasattr(controller, "controllers")
+        else [controller]
+    )
+    totals = {
+        "decisions": 0,
+        "worker_respawns": 0,
+        "strategy_failures": 0,
+        "watchdog_aborts": 0,
+    }
+    for member in members:
+        stats = getattr(member, "stats", None)
+        if stats is None:
+            continue
+        for key in totals:
+            totals[key] += getattr(stats, key, 0)
+    return totals
+
+
+def _signature(metrics) -> tuple:
+    """The bit-identity fingerprint of one run's decision trace."""
+    return (
+        tuple(metrics.utility_increments.values),
+        tuple(metrics.power_watts.values),
+        tuple(metrics.hosts_powered.values),
+        tuple(
+            (record.start, record.end, record.controller, record.description)
+            for record in metrics.actions
+        ),
+        repr(metrics.final_configuration),
+    )
+
+
+def _verify_checkpoint(testbed, path: Path, result: CellResult) -> None:
+    """Load + restore the cell's checkpoint lineage after the run.
+
+    A rotted head must quarantine and roll back to an older generation;
+    only when every retained generation rotted may the store refuse
+    (``lost`` — the correct refusal, not a failure).  A load that
+    *returns* but fails to restore is a real failure.
+    """
+    store = CheckpointStore(path)
+    try:
+        snapshot = store.load()
+    except CheckpointError:
+        result.checkpoint = f"lost({len(store.quarantined())}q)"
+        return
+    fresh, _ = build_mistral(testbed)
+    fresh.enable_resilience()
+    restore(fresh, snapshot)  # raises on a corrupt/partial restore
+    quarantined = len(store.quarantined())
+    result.checkpoint = f"rolled_back({quarantined}q)" if quarantined else "ok"
+
+
+def run_cell(
+    testbed,
+    result: CellResult,
+    faults: Optional[FaultConfig],
+    horizon: float,
+    checkpoint_dir: Optional[Path],
+    search_settings: Optional[SearchSettings],
+) -> CellResult:
+    if result.executor == "process":
+        # ``parallel_executor="auto"`` resolves to serial on
+        # single-core machines, which would silently skip the pool
+        # surfaces these cells exist to exercise — pin the kind.
+        search_settings = replace(
+            search_settings or SearchSettings(),
+            parallel_executor="process",
+        )
+    controller, initial = build_mistral(
+        testbed, search_settings=search_settings
+    )
+    workers = 2 if result.executor == "process" else None
+    checkpoint = None
+    if checkpoint_dir is not None:
+        safe = result.label.replace("/", "_")
+        checkpoint = checkpoint_dir / f"{safe}.json"
+    try:
+        metrics = testbed.run(
+            controller,
+            initial,
+            "mistral",
+            horizon=horizon,
+            faults=faults,
+            parallel=workers,
+            checkpoint=checkpoint,
+            search_strategy=result.strategy,
+            array_core=result.array,
+            invariants=True,
+        )
+    except Exception as error:  # noqa: BLE001 - the soak's whole point
+        result.error = f"{type(error).__name__}: {error}"
+        traceback.print_exc()
+        return result
+    stats = _controller_stats(controller)
+    result.decisions = stats["decisions"]
+    result.respawns = stats["worker_respawns"]
+    result.strategy_failures = stats["strategy_failures"]
+    result.watchdog_aborts = stats["watchdog_aborts"]
+    result.actions = metrics.action_count()
+    result.faults = (
+        metrics.fault_stats.total() if metrics.fault_stats else 0
+    )
+    result.violations = len(metrics.invariant_violations)
+    result.violation_details = [
+        f"{violation.name}: {violation.detail}"
+        for violation in metrics.invariant_violations
+    ]
+    result.signature = _signature(metrics)
+    if checkpoint is not None:
+        try:
+            _verify_checkpoint(testbed, checkpoint, result)
+        except Exception as error:  # noqa: BLE001
+            result.error = f"checkpoint: {type(error).__name__}: {error}"
+            traceback.print_exc()
+    return result
+
+
+def build_matrix(smoke: bool) -> tuple[list, list]:
+    """(control cells, chaos cell specs) for the requested depth.
+
+    Control cells run faults-off; within each strategy every backend
+    combination must produce a bit-identical trace.  The smoke matrix
+    keeps one backend pair per strategy for identity plus every
+    schedule on the widest backend (process + array core).
+    """
+    strategies = ["astar", "mcts"]
+    full_backends = [
+        ("serial", False),
+        ("serial", True),
+        ("process", False),
+        ("process", True),
+    ]
+    if smoke:
+        control_backends = [("serial", False), ("process", True)]
+        chaos_backends = [("process", True)]
+    else:
+        control_backends = full_backends
+        chaos_backends = full_backends
+    controls = [
+        CellResult("none", strategy, executor, array)
+        for strategy in strategies
+        for executor, array in control_backends
+    ]
+    chaos = [
+        (schedule, CellResult(schedule, strategy, executor, array))
+        for schedule in ("infra", "workers", "persistence")
+        for strategy in strategies
+        for executor, array in chaos_backends
+    ]
+    return controls, chaos
+
+
+def identity_check(controls: list) -> tuple[bool, list]:
+    """Per strategy: every faults-off backend matches the serial-scalar
+    reference signature."""
+    ok = True
+    notes = []
+    by_strategy: dict[str, list] = {}
+    for cell in controls:
+        by_strategy.setdefault(cell.strategy, []).append(cell)
+    for strategy, cells in by_strategy.items():
+        reference = next(
+            (
+                cell
+                for cell in cells
+                if cell.executor == "serial" and not cell.array
+            ),
+            cells[0],
+        )
+        for cell in cells:
+            if cell.error or reference.error:
+                ok = False
+                continue
+            if cell.signature != reference.signature:
+                ok = False
+                notes.append(
+                    f"{cell.label} diverges from {reference.label}"
+                )
+    return ok, notes
+
+
+def scorecard(
+    results: list,
+    checks: dict,
+    seed: int,
+    horizon: float,
+    smoke: bool,
+) -> str:
+    depth = "smoke matrix" if smoke else "full soak"
+    lines = [
+        "Chaos harness resilience scorecard — seeded fault schedules vs "
+        "the hardened search stack "
+        f"({depth}, seed {seed}, horizon {horizon:.0f}s)",
+        f"{'cell':<36} {'decisions':>9} {'actions':>7} {'faults':>6} "
+        f"{'respawns':>8} {'fallbacks':>9} {'aborts':>6} {'viol':>4} "
+        f"{'checkpoint':<15} {'status':<8}",
+        "-" * 126,
+    ]
+    for cell in results:
+        status = "ERROR" if cell.error else "ok"
+        lines.append(
+            f"{cell.label:<36} {cell.decisions:>9} {cell.actions:>7} "
+            f"{cell.faults:>6} {cell.respawns:>8} "
+            f"{cell.strategy_failures:>9} {cell.watchdog_aborts:>6} "
+            f"{cell.violations:>4} {cell.checkpoint:<15} {status:<8}"
+        )
+        if cell.error:
+            lines.append(f"    {cell.error}")
+        for detail in cell.violation_details:
+            lines.append(f"    violation: {detail}")
+    lines += [
+        "",
+        "Control cells (schedule 'none') run faults-off and must be "
+        "bit-identical per strategy across every backend; chaos cells "
+        "must absorb every injected fault with zero invariant "
+        "violations.  'checkpoint' reports the post-run restore of the "
+        "cell's snapshot lineage: ok, rolled_back(Nq) after quarantine, "
+        "or lost(Nq) when every retained generation rotted (the store's "
+        "correct refusal).",
+        "checks: "
+        + ", ".join(f"{name}={value}" for name, value in checks.items()),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced matrix + horizon for the CI smoke leg",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base fault-schedule seed"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="override the simulated horizon (seconds)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "results" / "chaos_scorecard.txt",
+        help="where the scorecard block is written",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=REPO_ROOT / "chaos_trace.jsonl",
+        help="JSONL telemetry trace of the whole soak",
+    )
+    args = parser.parse_args(argv)
+    horizon = args.horizon or (
+        SMOKE_HORIZON if args.smoke else FULL_HORIZON
+    )
+
+    testbed = make_testbed(app_count=2, seed=0)
+    schedules = fault_schedules(args.seed)
+    controls, chaos = build_matrix(args.smoke)
+    # Chaos cells get a watchdog deadline (so injected stalls have a
+    # tripwire to hit) and zero respawn backoff (the soak cares about
+    # the paths, not the waiting).  Control cells run the stock
+    # settings: their traces define the bit-identity reference.
+    chaos_settings = SearchSettings(
+        deadline_seconds=2.0,
+        executor_respawn_backoff_seconds=0.0,
+    )
+
+    results: list = []
+    telemetry.enable(jsonl_path=str(args.trace))
+    try:
+        with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
+            checkpoint_dir = Path(tmp)
+            for cell in controls:
+                print(f"control  {cell.label} ...", flush=True)
+                results.append(
+                    run_cell(testbed, cell, None, horizon, None, None)
+                )
+            for schedule, cell in chaos:
+                print(f"chaos    {cell.label} ...", flush=True)
+                results.append(
+                    run_cell(
+                        testbed,
+                        cell,
+                        schedules[schedule],
+                        horizon,
+                        checkpoint_dir,
+                        chaos_settings,
+                    )
+                )
+    finally:
+        telemetry.flush()
+        telemetry.disable()
+
+    control_results = [cell for cell in results if cell.schedule == "none"]
+    chaos_results = [cell for cell in results if cell.schedule != "none"]
+    identical, identity_notes = identity_check(control_results)
+    injected_per_schedule = {
+        name: sum(
+            cell.faults
+            for cell in chaos_results
+            if cell.schedule == name
+        )
+        for name in schedules
+    }
+    checks = {
+        "faults_off_bit_identical": identical,
+        "zero_invariant_violations": all(
+            cell.violations == 0 for cell in results
+        ),
+        "zero_unhandled_exceptions": all(
+            cell.error is None for cell in results
+        ),
+        "every_schedule_injected_faults": all(
+            count > 0 for count in injected_per_schedule.values()
+        ),
+        "checkpoints_survived_or_refused": all(
+            cell.checkpoint != "-" for cell in chaos_results
+        ),
+    }
+
+    block = scorecard(results, checks, args.seed, horizon, args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(block, encoding="utf-8")
+    print()
+    print(block, end="")
+    print(f"wrote {args.output}")
+    print(f"trace at {args.trace}")
+    for note in identity_notes:
+        print(f"identity: {note}", file=sys.stderr)
+    if not all(checks.values()):
+        failed = [name for name, value in checks.items() if not value]
+        print(f"FAILED checks: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

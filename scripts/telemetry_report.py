@@ -263,6 +263,18 @@ def resilience_rollup(events: list[dict]) -> dict:
     recoveries = 0
     replans = 0
     noop_decisions = 0
+    worker_kills = 0
+    worker_crashes = 0
+    worker_respawns = 0
+    shm_corruptions = 0
+    shm_resyncs = 0
+    solver_faults = 0
+    strategy_stalls = 0
+    strategy_failures = 0
+    checkpoint_corruptions = 0
+    checkpoint_quarantines = 0
+    checkpoint_rollbacks = 0
+    invariant_violations = 0
     for event in events:
         if event.get("kind") != "event":
             continue
@@ -301,10 +313,53 @@ def resilience_rollup(events: list[dict]) -> dict:
             replans += 1
         elif name == "resilience.noop_decision":
             noop_decisions += 1
+        elif name == "fault.worker.kill":
+            worker_kills += 1
+        elif name == "fault.worker.crash":
+            worker_crashes += 1
+        elif name == "fault.worker.respawn":
+            worker_respawns += 1
+        elif name == "fault.shm.corrupt":
+            shm_corruptions += 1
+        elif name == "parallel.shm_resync":
+            shm_resyncs += 1
+        elif name == "fault.solver.exception":
+            solver_faults += 1
+        elif name == "fault.strategy.stall":
+            strategy_stalls += 1
+        elif name == "search.strategy_failure":
+            strategy_failures += 1
+        elif name == "fault.checkpoint.corrupt":
+            checkpoint_corruptions += 1
+        elif name == "checkpoint.quarantine":
+            checkpoint_quarantines += 1
+        elif name == "checkpoint.rollback":
+            checkpoint_rollbacks += 1
+        elif name == "chaos.invariant_violation":
+            invariant_violations += 1
     total_faults = (
         sum(fault_actions.values()) + crashes + sum(sample_faults.values())
     )
-    if total_faults == 0 and plans_aborted == 0 and not degradations:
+    executor_faults = (
+        worker_kills
+        + worker_crashes
+        + worker_respawns
+        + shm_corruptions
+        + shm_resyncs
+        + solver_faults
+        + strategy_stalls
+        + strategy_failures
+        + checkpoint_corruptions
+        + checkpoint_quarantines
+        + checkpoint_rollbacks
+        + invariant_violations
+    )
+    if (
+        total_faults == 0
+        and plans_aborted == 0
+        and not degradations
+        and executor_faults == 0
+    ):
         return {}
     return {
         "faults": {
@@ -327,6 +382,20 @@ def resilience_rollup(events: list[dict]) -> dict:
             "recoveries": recoveries,
             "replans": replans,
             "noop_decisions": noop_decisions,
+        },
+        "executors": {
+            "worker_kills": worker_kills,
+            "worker_crashes": worker_crashes,
+            "worker_respawns": worker_respawns,
+            "shm_corruptions": shm_corruptions,
+            "shm_resyncs": shm_resyncs,
+            "solver_faults": solver_faults,
+            "strategy_stalls": strategy_stalls,
+            "strategy_failures": strategy_failures,
+            "checkpoint_corruptions": checkpoint_corruptions,
+            "checkpoint_quarantines": checkpoint_quarantines,
+            "checkpoint_rollbacks": checkpoint_rollbacks,
+            "invariant_violations": invariant_violations,
         },
     }
 
@@ -671,6 +740,25 @@ def render(report: dict) -> str:
                 f"  degraded -> {entry['level']} "
                 f"[{entry['controller']}] cause={entry['cause']} "
                 f"t={entry['t_sim']:.0f}s"
+            )
+        executors = resilience.get("executors", {})
+        if executors and any(executors.values()):
+            out.append(
+                f"executors: {executors['worker_kills']} worker kills, "
+                f"{executors['worker_crashes']} crashes detected, "
+                f"{executors['worker_respawns']} pool respawns  "
+                f"shm: {executors['shm_corruptions']} corruptions, "
+                f"{executors['shm_resyncs']} resyncs"
+            )
+            out.append(
+                f"walkers: {executors['solver_faults']} solver faults, "
+                f"{executors['strategy_stalls']} stalls, "
+                f"{executors['strategy_failures']} astar fallbacks  "
+                f"checkpoints: {executors['checkpoint_corruptions']} rotted, "
+                f"{executors['checkpoint_quarantines']} quarantined, "
+                f"{executors['checkpoint_rollbacks']} rollbacks  "
+                f"invariant violations="
+                f"{executors['invariant_violations']}"
             )
 
     checkpoint = report.get("checkpoint", {})

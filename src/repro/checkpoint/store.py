@@ -1,17 +1,36 @@
-"""Crash-consistent on-disk snapshot store.
+"""Crash-consistent on-disk snapshot store with a generation ring.
 
-One :class:`CheckpointStore` owns one snapshot file.  Writes are
-atomic — the envelope is serialized to a temporary file in the same
-directory, fsynced, and renamed over the target — so a reader never
-sees a torn snapshot: either the previous complete snapshot or the new
-one.  The envelope embeds a SHA-256 checksum of the canonical snapshot
-JSON plus the schema version, and :meth:`load` verifies both before
-returning, raising :class:`CheckpointError` on any corruption or
-unknown version — never a partial or silently-wrong restore.
+One :class:`CheckpointStore` owns one snapshot *lineage*: the target
+path always names the newest snapshot, and each successful save also
+retires into a bounded ring of generation files
+(``<path>.g000001``, ``<path>.g000002``, ...) kept as siblings in the
+same directory.  Writes are atomic and verified-before-commit — the
+envelope is serialized to a temporary file in the same directory,
+fsynced, re-read and checksum-verified, and only then renamed into the
+ring — so a previous good generation is never deleted (or even
+replaced) until its successor is durably on disk and proven readable.
+The target path is a hard link to the newest generation, so a reader
+of either name sees the same complete bytes.
+
+The envelope embeds a SHA-256 checksum of the canonical snapshot JSON
+plus the schema version, and :meth:`load` verifies both before
+returning.  When the newest snapshot fails verification — torn write,
+bit rot, operator accident — :meth:`load` *quarantines* the corrupt
+file (renames it aside with a ``.quarantine`` suffix, preserving the
+evidence) and rolls back through the ring, newest to oldest, returning
+the most recent generation that still verifies.  Only when every
+generation is exhausted does it raise :class:`CheckpointError`.
 
 Envelope shape (version 1)::
 
     {"v": 1, "checksum": "<sha256 hex>", "snapshot": {...}}
+
+For chaos drills, :attr:`CheckpointStore.corruption_hook` may be set
+to a ``str -> str`` callable (e.g. a
+:class:`~repro.faults.injector.FaultInjector`'s
+``corrupt_checkpoint``); it is applied to the committed bytes *after*
+the write is verified, simulating post-write media rot that the next
+:meth:`load` must detect, quarantine, and roll back from.
 """
 
 from __future__ import annotations
@@ -19,14 +38,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
-from typing import Union
+from typing import Callable, Optional, Union
 
 from repro.checkpoint.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     CheckpointError,
 )
 from repro.telemetry import runtime as _telemetry
+
+#: Default number of snapshot generations retained on disk.
+DEFAULT_GENERATIONS = 3
 
 
 def _canonical(snapshot: dict) -> str:
@@ -38,27 +61,150 @@ def _checksum(payload: str) -> str:
 
 
 class CheckpointStore:
-    """Atomic, checksummed persistence for one snapshot file."""
+    """Atomic, checksummed persistence with bounded generation history."""
 
-    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        keep: int = DEFAULT_GENERATIONS,
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         self._path = str(path)
+        self._keep = keep
+        #: Optional ``str -> str`` transform applied to the committed
+        #: envelope bytes after a verified save — the chaos harness's
+        #: stand-in for silent on-disk corruption.
+        self.corruption_hook: Optional[Callable[[str], str]] = None
 
     @property
     def path(self) -> str:
-        """Where the snapshot lives."""
+        """Where the newest snapshot lives."""
         return self._path
+
+    @property
+    def keep(self) -> int:
+        """How many generations the ring retains."""
+        return self._keep
 
     def exists(self) -> bool:
         """Whether a snapshot file is present (not necessarily valid)."""
         return os.path.exists(self._path)
 
+    # -- the generation ring ----------------------------------------------
+
+    def _generation_pattern(self) -> "re.Pattern[str]":
+        base = re.escape(os.path.basename(self._path))
+        return re.compile(base + r"\.g(\d{6})(\.quarantine)?$")
+
+    def _directory(self) -> str:
+        return os.path.dirname(os.path.abspath(self._path))
+
+    def _generation_path(self, generation: int) -> str:
+        return f"{self._path}.g{generation:06d}"
+
+    def generations(self) -> list:
+        """Clean (non-quarantined) generation paths, oldest to newest."""
+        pattern = self._generation_pattern()
+        directory = self._directory()
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            match = pattern.match(name)
+            if match and not match.group(2):
+                found.append((int(match.group(1)), name))
+        return [
+            os.path.join(directory, name) for _, name in sorted(found)
+        ]
+
+    def quarantined(self) -> list:
+        """Quarantined file paths (corrupt evidence), oldest first."""
+        pattern = self._generation_pattern()
+        directory = self._directory()
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        found = sorted(
+            (int(match.group(1)), name)
+            for name in names
+            if (match := pattern.match(name)) and match.group(2)
+        )
+        paths = [os.path.join(directory, name) for _, name in found]
+        head = self._path + ".quarantine"
+        if os.path.exists(head):
+            paths.append(head)
+        return paths
+
+    def _next_generation(self) -> int:
+        pattern = self._generation_pattern()
+        try:
+            names = os.listdir(self._directory())
+        except OSError:
+            return 1
+        numbers = [
+            int(match.group(1))
+            for name in names
+            if (match := pattern.match(name))
+        ]
+        return max(numbers, default=0) + 1
+
+    def _relink_latest(self, generation_path: str) -> None:
+        """Point ``path`` at a generation file (hard link + rename)."""
+        link_tmp = generation_path + ".lnk"
+        try:
+            os.unlink(link_tmp)
+        except OSError:
+            pass
+        os.link(generation_path, link_tmp)
+        try:
+            os.replace(link_tmp, self._path)
+        except BaseException:
+            try:
+                os.unlink(link_tmp)
+            except OSError:
+                pass
+            raise
+
+    def _prune(self) -> None:
+        """Drop generations beyond the ring bound (never quarantines)."""
+        clean = self.generations()
+        for stale in clean[: -self._keep]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    def _quarantine(self, candidate: str, error: Exception) -> None:
+        target = candidate + ".quarantine"
+        try:
+            os.replace(candidate, target)
+        except OSError:
+            return
+        if _telemetry.enabled:
+            _telemetry.registry.counter("checkpoint.quarantines").inc()
+            _telemetry.tracer.event(
+                "checkpoint.quarantine",
+                path=candidate,
+                quarantined=target,
+                error=str(error),
+            )
+
+    # -- save / load -------------------------------------------------------
+
     def save(self, snapshot: dict) -> str:
-        """Atomically persist one snapshot; returns the file path.
+        """Durably persist one snapshot; returns the file path.
 
         The temporary file is created in the target's directory so the
-        rename stays on one filesystem (atomic on POSIX).  On any
-        serialization or write error the temporary file is removed and
-        the previous snapshot, if any, is left untouched.
+        rename stays on one filesystem (atomic on POSIX), fsynced, then
+        *re-read and checksum-verified* before commit — the previous
+        good generation is never touched until the new one is proven
+        readable.  On any serialization, write, or verification error
+        the temporary file is removed and every existing generation is
+        left exactly as it was.
         """
         payload = _canonical(snapshot)
         envelope = {
@@ -66,7 +212,7 @@ class CheckpointStore:
             "checksum": _checksum(payload),
             "snapshot": snapshot,
         }
-        directory = os.path.dirname(os.path.abspath(self._path))
+        directory = self._directory()
         descriptor, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(self._path) + ".",
             suffix=".tmp",
@@ -77,66 +223,152 @@ class CheckpointStore:
                 json.dump(envelope, handle, separators=(",", ":"))
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp_path, self._path)
+            # Verify before commit: the bytes on disk must round-trip.
+            self._verify_envelope(self._read_envelope(tmp_path), tmp_path)
+            generation = self._next_generation()
+            generation_path = self._generation_path(generation)
+            os.replace(tmp_path, generation_path)
         except BaseException:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             raise
+        self._relink_latest(generation_path)
+        self._prune()
         if _telemetry.enabled:
             _telemetry.registry.counter("checkpoint.saves").inc()
             _telemetry.tracer.event(
                 "checkpoint.save",
                 path=self._path,
+                generation=generation,
                 bytes=len(payload),
                 t_sim=snapshot.get("t_sim", 0.0),
             )
+        if self.corruption_hook is not None:
+            self._apply_corruption(envelope)
         return self._path
 
-    def load(self) -> dict:
-        """Read, verify, and return the stored snapshot.
+    def _apply_corruption(self, envelope: dict) -> None:
+        """Chaos path: rot the committed bytes *after* verification.
 
-        Raises :class:`CheckpointError` when the file is missing,
-        unparsable, carries an unknown envelope version, or fails its
-        checksum.
+        The hook sees exactly what a verified save left on disk; if it
+        returns different bytes they overwrite the newest snapshot in
+        place (the hard-linked generation rots with it), leaving older
+        generations pristine for :meth:`load` to roll back to.
         """
+        text = json.dumps(envelope, separators=(",", ":"))
+        corrupted = self.corruption_hook(text)
+        if corrupted == text:
+            return
+        with open(self._path, "w", encoding="utf-8") as handle:
+            handle.write(corrupted)
+        if _telemetry.enabled:
+            _telemetry.tracer.event(
+                "fault.checkpoint.corrupt", path=self._path
+            )
+
+    def _read_envelope(self, candidate: str) -> dict:
         try:
-            with open(self._path, "r", encoding="utf-8") as handle:
+            with open(candidate, "r", encoding="utf-8") as handle:
                 raw = handle.read()
         except OSError as error:
             raise CheckpointError(
-                f"cannot read snapshot {self._path!r}: {error}"
+                f"cannot read snapshot {candidate!r}: {error}"
             ) from error
         try:
             envelope = json.loads(raw)
         except ValueError as error:
             raise CheckpointError(
-                f"snapshot {self._path!r} is not valid JSON "
+                f"snapshot {candidate!r} is not valid JSON "
                 f"(corrupt or torn write): {error}"
             ) from error
         if not isinstance(envelope, dict):
             raise CheckpointError(
-                f"snapshot {self._path!r} is not a JSON object"
+                f"snapshot {candidate!r} is not a JSON object"
             )
+        return envelope
+
+    def _verify_envelope(self, envelope: dict, candidate: str) -> dict:
         version = envelope.get("v")
         if version != SNAPSHOT_SCHEMA_VERSION:
             raise CheckpointError(
-                f"snapshot {self._path!r} has unknown schema version "
+                f"snapshot {candidate!r} has unknown schema version "
                 f"{version!r} (this reader understands "
                 f"{SNAPSHOT_SCHEMA_VERSION})"
             )
         snapshot = envelope.get("snapshot")
         if not isinstance(snapshot, dict):
             raise CheckpointError(
-                f"snapshot {self._path!r} has no snapshot payload"
+                f"snapshot {candidate!r} has no snapshot payload"
             )
         recorded = envelope.get("checksum")
         actual = _checksum(_canonical(snapshot))
         if recorded != actual:
             raise CheckpointError(
-                f"snapshot {self._path!r} failed its checksum "
+                f"snapshot {candidate!r} failed its checksum "
                 f"(recorded {recorded!r}, computed {actual!r}) — "
                 "refusing a corrupt restore"
             )
         return snapshot
+
+    def load(self) -> dict:
+        """Read, verify, and return the newest snapshot that verifies.
+
+        Tries the target path first, then each ring generation newest
+        to oldest.  A candidate that fails verification — unparsable,
+        unknown envelope version, checksum mismatch — is quarantined
+        (renamed aside, evidence preserved) and the next-older one is
+        tried; recovering from a generation re-links it as the target
+        path so subsequent loads are fast again.  Raises
+        :class:`CheckpointError` only when the target is missing and no
+        generation exists, or when every candidate is corrupt (the
+        newest candidate's error is reported).
+        """
+        candidates = [self._path]
+        for generation_path in reversed(self.generations()):
+            candidates.append(generation_path)
+        first_error: Optional[CheckpointError] = None
+        seen_any = False
+        for candidate in candidates:
+            if not os.path.exists(candidate):
+                continue
+            seen_any = True
+            try:
+                snapshot = self._verify_envelope(
+                    self._read_envelope(candidate), candidate
+                )
+            except CheckpointError as error:
+                if first_error is None:
+                    first_error = error
+                self._quarantine(candidate, error)
+                continue
+            if candidate != self._path:
+                # The head was corrupt (or already quarantined); this
+                # generation is the rollback target.  Repair the head
+                # link so the next load finds the good snapshot
+                # directly.
+                if _telemetry.enabled:
+                    _telemetry.registry.counter(
+                        "checkpoint.rollbacks"
+                    ).inc()
+                    _telemetry.tracer.event(
+                        "checkpoint.rollback",
+                        path=self._path,
+                        recovered_from=candidate,
+                    )
+                try:
+                    self._relink_latest(candidate)
+                except OSError:
+                    pass
+            return snapshot
+        if first_error is not None:
+            raise first_error
+        if not seen_any:
+            raise CheckpointError(
+                f"cannot read snapshot {self._path!r}: no snapshot or "
+                "usable generation exists"
+            )
+        raise CheckpointError(  # pragma: no cover - defensive
+            f"cannot read snapshot {self._path!r}"
+        )

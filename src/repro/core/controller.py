@@ -66,6 +66,15 @@ class ControllerStats:
     replans: int = 0
     #: Searches the watchdog aborted at their wall-clock deadline.
     watchdog_aborts: int = 0
+    #: Worker pools respawned after a supervised executor failure
+    #: (bounded backoff, before the pin-to-serial fallback).
+    worker_respawns: int = 0
+    #: Executor failures that exhausted the respawn budget and pinned
+    #: the search to the serial path.
+    executor_failures: int = 0
+    #: Anytime walkers that blew up mid-run and fell back to the exact
+    #: A* incumbent path.
+    strategy_failures: int = 0
 
     def mean_search_seconds(self) -> float:
         """Average decision delay over all searches."""
@@ -119,9 +128,17 @@ class MistralController:
         search.on_executor_failure = self._on_executor_failure
 
     def _on_executor_failure(self, kind: str) -> None:
-        """A worker pool died mid-search (the search already fell back
-        to serial execution); feed it to the degradation ladder like
-        any other execution fault."""
+        """A resilience signal surfaced from inside the search — a pool
+        respawn (``"worker_respawn"``), a permanent pin-to-serial
+        demotion (``"executor_failure"``), or a walker falling back to
+        the exact A* (``"strategy_failure"``).  Tallied per kind and
+        fed to the degradation ladder like any other execution fault."""
+        if kind == "worker_respawn":
+            self.stats.worker_respawns += 1
+        elif kind == "executor_failure":
+            self.stats.executor_failures += 1
+        elif kind == "strategy_failure":
+            self.stats.strategy_failures += 1
         self.record_execution_fault(self._last_now, kind)
 
     def shutdown_parallel(self) -> None:
@@ -191,13 +208,22 @@ class MistralController:
             )
 
     def _search_settings_for_level(self, level: str):
-        """Per-run settings override for the current ladder rung."""
+        """Per-run settings override for the current ladder rung.
+
+        The pruned rung also pins the strategy to the exact A*: the
+        ladder degrades under faults, and the stochastic walkers are
+        exactly the machinery whose failures (injected solver faults,
+        watchdog-tripping stalls) may have put us here — the pruned
+        self-aware A* with a reduced expansion budget is the known-good
+        incumbent path.
+        """
         if level != "pruned":
             return None
         assert self.resilience is not None
         return dataclasses.replace(
             self.search.settings,
             self_aware=True,
+            strategy="astar",
             max_expansions=self.resilience.settings.pruned_max_expansions,
         )
 

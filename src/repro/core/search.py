@@ -249,6 +249,13 @@ class SearchSettings:
     #: Consecutive rejected/inapplicable moves before the walker
     #: teleports back to its best incumbent (anytime restarts).
     annealing_restart_interval: int = 60
+    #: Supervised-pool respawns the search may attempt per run when a
+    #: parallel executor fails (worker killed, pool died, stale fork)
+    #: before pinning itself to the serial path permanently.
+    executor_respawn_limit: int = 2
+    #: Base of the exponential backoff slept before respawn attempt N
+    #: (``base * 2**(N-1)`` seconds).  0 disables the sleep (tests).
+    executor_respawn_backoff_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prune_fraction <= 1.0:
@@ -287,6 +294,12 @@ class SearchSettings:
             raise ValueError("annealing_cooling must be in (0, 1]")
         if self.annealing_restart_interval < 1:
             raise ValueError("annealing_restart_interval must be >= 1")
+        if self.executor_respawn_limit < 0:
+            raise ValueError("executor_respawn_limit must be >= 0")
+        if self.executor_respawn_backoff_seconds < 0:
+            raise ValueError(
+                "executor_respawn_backoff_seconds must be >= 0"
+            )
 
 
 @dataclass
@@ -732,10 +745,18 @@ class AdaptationSearch:
         self._executor = None
         self._executor_key: Optional[tuple] = None
         self._parallel_failed = False
+        #: Pool respawns already spent (bounded by
+        #: ``settings.executor_respawn_limit`` before the permanent
+        #: pin-to-serial demotion).
+        self._respawn_attempts = 0
         #: Optional callback invoked (with a reason string) when a pool
         #: executor dies and the search falls back to inline scoring —
         #: the controller wires this into its resilience ladder.
         self.on_executor_failure: Optional[Callable[[str], None]] = None
+        #: Chaos-mode fault injector (attached by the testbed); handed
+        #: to process executors (worker kills, shm corruption) and the
+        #: walker contexts (solver exceptions, strategy stalls).
+        self.fault_injector = None
 
     # -- executor lifecycle ---------------------------------------------------
 
@@ -754,6 +775,15 @@ class AdaptationSearch:
             self._array_statics = statics
         return statics
 
+    def _executor_workers(self, settings: SearchSettings) -> int:
+        """Resolved worker count (settings, then environment, then 1)."""
+        workers = (
+            settings.parallel_workers
+            if settings.parallel_workers is not None
+            else default_workers()
+        )
+        return workers if workers is not None else 1
+
     def _ensure_executor(self, settings: SearchSettings, workers: int):
         """The executor for this (kind, workers) request, cached across
         searches; once a pool has failed, always the inline fallback."""
@@ -770,7 +800,51 @@ class AdaptationSearch:
                 settings.parallel_executor, workers, self._score_context()
             )
             self._executor_key = key
+        if self._executor.kind == "process":
+            self._executor.fault_injector = self.fault_injector
         return self._executor
+
+    def _respawn_executor(self, settings: SearchSettings, error: Exception):
+        """Supervised recovery from a pool failure: close the broken
+        executor and rebuild the same backing after an exponential
+        backoff, up to ``executor_respawn_limit`` attempts — only then
+        fall through to the permanent :meth:`_demote_executor` pin.
+        The attempt counter is per search instance and never resets: a
+        pool that keeps dying earns the serial path."""
+        if self._respawn_attempts >= settings.executor_respawn_limit:
+            return self._demote_executor(error)
+        self._respawn_attempts += 1
+        attempt = self._respawn_attempts
+        backoff = settings.executor_respawn_backoff_seconds * (
+            2.0 ** (attempt - 1)
+        )
+        broken = self._executor
+        self._executor = None
+        self._executor_key = None
+        if broken is not None:
+            try:
+                broken.close()
+            except Exception:
+                pass  # already-broken pools may refuse to shut down
+        if backoff > 0.0:
+            time.sleep(backoff)
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("parallel.worker_respawns").inc()
+            _telemetry.tracer.event(
+                "fault.worker.respawn",
+                attempt=attempt,
+                limit=settings.executor_respawn_limit,
+                backoff_seconds=backoff,
+                error=type(error).__name__,
+            )
+        if self.on_executor_failure is not None:
+            try:
+                self.on_executor_failure("worker_respawn")
+            except Exception:
+                pass  # resilience hooks must never kill the search
+        workers = self._executor_workers(settings)
+        return self._ensure_executor(settings, workers)
 
     def _demote_executor(self, error: Exception):
         """Permanent graceful fallback after a pool failure: close the
@@ -847,22 +921,59 @@ class AdaptationSearch:
             self.settings if settings_override is None else settings_override
         )
         strategy = resolve_strategy(settings.strategy)
-        outcome = strategy.run(
-            self,
-            current,
-            workloads,
-            control_window,
-            expected_utility=expected_utility,
-            expected_rate=expected_rate,
-            settings_override=settings_override,
-        )
-        outcome.strategy = strategy.name
+        strategy_name = strategy.name
+        try:
+            outcome = strategy.run(
+                self,
+                current,
+                workloads,
+                control_window,
+                expected_utility=expected_utility,
+                expected_rate=expected_rate,
+                settings_override=settings_override,
+            )
+        except Exception as error:
+            if strategy_name == "astar":
+                raise  # the exact loop has no fallback below it
+            # Walker failure degradation: an anytime backend blowing up
+            # mid-run (an injected solver fault, a real bug) must never
+            # cost the controller a decision — fall back to the exact
+            # A* incumbent path, which shares none of the walker's
+            # failed machinery, and tell the resilience ladder.
+            _phases.set_profile(None)  # the dead walker's, if any
+            if _telemetry.enabled:
+                registry = _telemetry.registry
+                registry.counter("search.strategy_failures").inc()
+                registry.counter(
+                    f"search.strategy.{strategy_name}.failures"
+                ).inc()
+                _telemetry.tracer.event(
+                    "search.strategy_failure",
+                    strategy=strategy_name,
+                    error=type(error).__name__,
+                    detail=str(error),
+                )
+            if self.on_executor_failure is not None:
+                try:
+                    self.on_executor_failure("strategy_failure")
+                except Exception:
+                    pass  # resilience hooks must never kill the search
+            outcome = self._astar_search(
+                current,
+                workloads,
+                control_window,
+                expected_utility,
+                expected_rate,
+                settings_override,
+            )
+            strategy_name = "astar"  # what actually decided
+        outcome.strategy = strategy_name
         if _telemetry.enabled:
             registry = _telemetry.registry
-            registry.counter(f"search.strategy.{strategy.name}.runs").inc()
+            registry.counter(f"search.strategy.{strategy_name}.runs").inc()
             _telemetry.tracer.event(
                 "search.strategy",
-                strategy=strategy.name,
+                strategy=strategy_name,
                 wall_seconds=outcome.wall_seconds,
                 expansions=outcome.expansions,
                 decision_seconds=outcome.decision_seconds,
@@ -1406,8 +1517,8 @@ class AdaptationSearch:
 
         def dispatch(method: str, configuration: Configuration, actions):
             """One executor round (score or predict), with measured
-            pool cost, the watchdog's hard timer, and permanent inline
-            fallback on pool death.
+            pool cost, the watchdog's hard timer, and supervised
+            recovery on pool death.
 
             With a deadline set, the round runs under a timeout for the
             remaining budget; on expiry (or with no budget left at all)
@@ -1416,6 +1527,15 @@ class AdaptationSearch:
             this round, so a stuck pool cannot hold the search hostage.
             A timeout is a *deadline* event, never a pool-death event:
             the executor is not demoted.
+
+            Any other executor failure (a worker SIGKILLed mid-round,
+            the pool dead, a stale fork, unrecoverable shm corruption)
+            retries the round through :meth:`_respawn_executor`: the
+            same backing is rebuilt under a bounded exponential backoff
+            until the respawn budget runs out, after which the
+            permanent serial demotion takes over.  The serial fallback
+            executing the round inline cannot fail this way, so the
+            loop always terminates.
             """
             nonlocal pool_wall, pool_cpu, executor, deadline_hit
             wall_0 = time.perf_counter()
@@ -1427,23 +1547,23 @@ class AdaptationSearch:
                     deadline_hit = True
                     return []
             try:
-                try:
-                    if remaining is None:
+                while True:
+                    try:
+                        if remaining is None:
+                            return getattr(executor, method)(
+                                configuration, actions, workloads, wkey
+                            )
                         return getattr(executor, method)(
-                            configuration, actions, workloads, wkey
+                            configuration, actions, workloads, wkey,
+                            timeout=remaining,
                         )
-                    return getattr(executor, method)(
-                        configuration, actions, workloads, wkey,
-                        timeout=remaining,
-                    )
-                except (TimeoutError, multiprocessing.TimeoutError):
-                    deadline_hit = True
-                    return []
-                except Exception as error:  # pool died — degrade, retry inline
-                    executor = self._demote_executor(error)
-                    return getattr(executor, method)(
-                        configuration, actions, workloads, wkey
-                    )
+                    except (TimeoutError, multiprocessing.TimeoutError):
+                        deadline_hit = True
+                        return []
+                    except Exception as error:
+                        if executor.kind == "serial":
+                            raise  # inline failures are real bugs
+                        executor = self._respawn_executor(settings, error)
             finally:
                 cpu_dt = time.process_time() - cpu_0
                 wall_dt = time.perf_counter() - wall_0

@@ -56,6 +56,7 @@ from typing import Mapping, Optional
 from repro.core.actions import ActionError, AdaptationAction, NullAction
 from repro.core.config import Configuration
 from repro.core.planner import plan_transition
+from repro.faults.injector import InjectedSolverFault
 from repro.core.search import (
     STRATEGY_KINDS,
     SearchOutcome,
@@ -218,6 +219,9 @@ class _WalkContext:
         self.current_rate = self.current_estimate.total_rate
         self.deadline = settings.deadline_seconds
         self.deadline_hit = False
+        #: Chaos-mode fault injector (``search.fault_injector``):
+        #: solver-exception and strategy-stall injection points.
+        self.injector = getattr(search, "fault_injector", None)
         self.rng = random.Random(settings.strategy_seed)
         self.iterations = 0
         self.evaluations = 0
@@ -296,13 +300,42 @@ class _WalkContext:
             self.deadline_hit = True
         return self.deadline_hit
 
+    def maybe_stall(self) -> None:
+        """Chaos injection: sleep one injected stall before this
+        iteration.  Placed right before the watchdog check so a stall
+        long enough to blow the deadline aborts the walker on the very
+        next ``out_of_time`` — the incumbent survives, the outcome is
+        stamped ``deadline_aborted``, and the ladder steps down."""
+        injector = self.injector
+        if injector is None:
+            return
+        seconds = injector.strategy_stall()
+        if seconds > 0.0:
+            if _telemetry.enabled:
+                _telemetry.tracer.event(
+                    "fault.strategy.stall", seconds=seconds
+                )
+            time.sleep(seconds)
+
     # -- evaluation ----------------------------------------------------
 
     def steady(self, node: _WalkNode):
         """Steady estimate of a node, via the incremental delta path
-        when lineage allows (memoized per node)."""
+        when lineage allows (memoized per node).
+
+        Chaos mode may raise :class:`InjectedSolverFault` here — the
+        walkers let it propagate, and the search's dispatcher answers
+        with the exact-A* fallback (walker failure degradation).
+        """
         estimate = node.steady_cache
         if estimate is None:
+            injector = self.injector
+            if injector is not None and injector.solver_exception():
+                if _telemetry.enabled:
+                    _telemetry.tracer.event("fault.solver.exception")
+                raise InjectedSolverFault(
+                    "injected LQN solver failure mid-evaluation"
+                )
             if node.parent_configuration is not None:
                 estimate = self.search.estimator.estimate_child(
                     node.parent_configuration,
@@ -995,6 +1028,7 @@ class MctsStrategy(SearchStrategy):
             return tree_node.untried
 
         for _ in range(settings.mcts_iterations):
+            ctx.maybe_stall()
             if ctx.out_of_time():
                 break
             ctx.iterations += 1
@@ -1165,6 +1199,7 @@ class AnnealingStrategy(SearchStrategy):
         restarts = 0
         rejects = 0
         for _ in range(settings.annealing_iterations):
+            ctx.maybe_stall()
             if ctx.out_of_time():
                 break
             ctx.iterations += 1

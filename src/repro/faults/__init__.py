@@ -26,8 +26,10 @@ from repro.faults.injector import (
     FaultInjector,
     FaultStats,
     HostCrash,
+    InjectedSolverFault,
     ScriptedActionFault,
 )
+from repro.faults.invariants import InvariantViolation, check_invariants
 from repro.faults.recovery import RecoveryPolicy
 
 __all__ = [
@@ -39,6 +41,9 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "HostCrash",
+    "InjectedSolverFault",
+    "InvariantViolation",
     "RecoveryPolicy",
     "ScriptedActionFault",
+    "check_invariants",
 ]

@@ -20,7 +20,15 @@ Three fault surfaces:
 - **monitoring faults** — a sample fed to the controllers may be
   *dropped* (the controllers never see this interval) or *stale* (they
   see the previous interval's workloads), starving the workload bands
-  and the ARMA stability filter of fresh data.
+  and the ARMA stability filter of fresh data;
+- **infrastructure faults** (chaos mode) — the controller's own
+  machinery misbehaves: a pool worker process is killed mid-round, the
+  shared-memory configuration channel is corrupted (flipped payload
+  byte or torn sequence number), a checkpoint write lands corrupt on
+  disk, the LQN solver raises mid-evaluation, or an anytime walker
+  stalls long enough to trip the search watchdog.  Each family has its
+  own probability knob and, like every other surface, consumes no
+  randomness while its knob is zero.
 
 Example — a config that fails the first two migration attempts and
 crashes one host, with no random faults at all::
@@ -110,6 +118,15 @@ class ActionFault:
     stall_factor: float = 1.0
 
 
+class InjectedSolverFault(RuntimeError):
+    """An injected LQN-solver failure (chaos mode).
+
+    Raised from inside candidate evaluation to simulate the performance
+    model blowing up mid-search; the hardened search survives it by
+    falling back to the exact A* incumbent path.
+    """
+
+
 @dataclass
 class FaultStats:
     """Counts of every fault the injector actually injected."""
@@ -120,6 +137,12 @@ class FaultStats:
     samples_dropped: int = 0
     samples_stale: int = 0
     controller_crashes: int = 0
+    # -- chaos-mode infrastructure faults --
+    worker_kills: int = 0
+    shm_corruptions: int = 0
+    checkpoint_corruptions: int = 0
+    solver_exceptions: int = 0
+    strategy_stalls: int = 0
 
     def total(self) -> int:
         """All injected faults."""
@@ -130,6 +153,11 @@ class FaultStats:
             + self.samples_dropped
             + self.samples_stale
             + self.controller_crashes
+            + self.worker_kills
+            + self.shm_corruptions
+            + self.checkpoint_corruptions
+            + self.solver_exceptions
+            + self.strategy_stalls
         )
 
 
@@ -172,6 +200,29 @@ class FaultConfig:
     sample_drop_probability: float = 0.0
     #: Probability the controllers see the previous sample's workloads.
     sample_stale_probability: float = 0.0
+    #: Per executor round: probability one pool worker process is
+    #: SIGKILLed before the round dispatches (process executor only).
+    worker_kill_probability: float = 0.0
+    #: Per shared-memory publish: probability the published snapshot is
+    #: corrupted before workers read it.
+    shm_corruption_probability: float = 0.0
+    #: How shared-memory corruption manifests: ``"flip"`` (a payload
+    #: byte is flipped — checksum mismatch) or ``"torn"`` (the sequence
+    #: number advances without the payload — torn-write tripwire).
+    shm_corruption_mode: str = "flip"
+    #: Per checkpoint save: probability the bytes written to disk are
+    #: corrupted (one flipped byte of the serialized envelope).
+    checkpoint_corruption_probability: float = 0.0
+    #: Per candidate steady-state evaluation inside the anytime
+    #: walkers: probability the solver raises
+    #: :class:`InjectedSolverFault`.
+    solver_exception_probability: float = 0.0
+    #: Per walker iteration: probability the strategy stalls for
+    #: ``strategy_stall_seconds`` of real wall time (long enough to
+    #: trip a configured watchdog deadline).
+    strategy_stall_probability: float = 0.0
+    #: Duration of one injected strategy stall, in wall seconds.
+    strategy_stall_seconds: float = 0.1
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -192,6 +243,11 @@ class FaultConfig:
             "default_stall_probability",
             "sample_drop_probability",
             "sample_stale_probability",
+            "worker_kill_probability",
+            "shm_corruption_probability",
+            "checkpoint_corruption_probability",
+            "solver_exception_probability",
+            "strategy_stall_probability",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -211,6 +267,12 @@ class FaultConfig:
             raise ValueError("stall_factor must be >= 1")
         if not 0.0 < self.fail_fraction <= 1.0:
             raise ValueError("fail_fraction must be in (0, 1]")
+        if self.shm_corruption_mode not in ("flip", "torn"):
+            raise ValueError(
+                f"unknown shm corruption mode {self.shm_corruption_mode!r}"
+            )
+        if self.strategy_stall_seconds <= 0:
+            raise ValueError("strategy_stall_seconds must be positive")
 
     def fail_probability(self, kind: str) -> float:
         """Failure probability for one action family."""
@@ -236,6 +298,11 @@ class FaultConfig:
             and not self.controller_crashes
             and self.sample_drop_probability == 0.0
             and self.sample_stale_probability == 0.0
+            and self.worker_kill_probability == 0.0
+            and self.shm_corruption_probability == 0.0
+            and self.checkpoint_corruption_probability == 0.0
+            and self.solver_exception_probability == 0.0
+            and self.strategy_stall_probability == 0.0
         )
 
 
@@ -325,3 +392,73 @@ class FaultInjector:
     def note_controller_crash(self) -> None:
         """Count one executed controller crash (called by the testbed)."""
         self.stats.controller_crashes += 1
+
+    # -- chaos-mode infrastructure faults --------------------------------
+    #
+    # Each verdict consumes randomness only when its family's knob is
+    # non-zero, preserving the draw-isolation contract: attaching an
+    # inert injector (or zeroing one family) never shifts the fault
+    # schedule of the others.
+
+    def worker_kill(self) -> bool:
+        """Whether to kill one pool worker before this executor round."""
+        probability = self.config.worker_kill_probability
+        if probability <= 0.0:
+            return False
+        if float(self._rng.random()) < probability:
+            self.stats.worker_kills += 1
+            return True
+        return False
+
+    def shm_corruption(self) -> Optional[str]:
+        """Corruption verdict for one shared-memory publish.
+
+        Returns the corruption mode (``"flip"`` | ``"torn"``) or
+        ``None`` for a clean publish.
+        """
+        probability = self.config.shm_corruption_probability
+        if probability <= 0.0:
+            return None
+        if float(self._rng.random()) < probability:
+            self.stats.shm_corruptions += 1
+            return self.config.shm_corruption_mode
+        return None
+
+    def corrupt_checkpoint(self, payload: str) -> str:
+        """Possibly corrupt one serialized checkpoint envelope.
+
+        Returns the payload as left on disk: unchanged for a clean
+        save, or with one byte flipped at an injector-chosen offset —
+        simulated post-write media rot that the store's next ``load``
+        must detect, quarantine, and roll back from (older generations
+        are never touched by the rot).
+        """
+        probability = self.config.checkpoint_corruption_probability
+        if probability <= 0.0 or not payload:
+            return payload
+        if float(self._rng.random()) >= probability:
+            return payload
+        self.stats.checkpoint_corruptions += 1
+        index = int(self._rng.integers(0, len(payload)))
+        flipped = chr((ord(payload[index]) ^ 0x01) & 0x7F)
+        return payload[:index] + flipped + payload[index + 1 :]
+
+    def solver_exception(self) -> bool:
+        """Whether this candidate evaluation's solver call blows up."""
+        probability = self.config.solver_exception_probability
+        if probability <= 0.0:
+            return False
+        if float(self._rng.random()) < probability:
+            self.stats.solver_exceptions += 1
+            return True
+        return False
+
+    def strategy_stall(self) -> float:
+        """Stall seconds for one walker iteration (0.0 = no stall)."""
+        probability = self.config.strategy_stall_probability
+        if probability <= 0.0:
+            return 0.0
+        if float(self._rng.random()) < probability:
+            self.stats.strategy_stalls += 1
+            return self.config.strategy_stall_seconds
+        return 0.0

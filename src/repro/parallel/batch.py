@@ -27,6 +27,7 @@ left-to-right float additions of the serial ``sum(list)`` — unlike
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -51,6 +52,30 @@ from repro.costmodel.manager import CostManager, PredictedCost
 #: An entry of a scored round: the action's placement delta plus its
 #: predicted cost, or None when the action is inapplicable.
 ScoredAction = Optional[tuple[tuple, PredictedCost]]
+
+
+class ShmCorruptionError(RuntimeError):
+    """A shared-memory snapshot failed its integrity checks in a worker.
+
+    Raised when the published sequence number does not match the
+    payload's (a torn publish) or the payload bytes fail the published
+    CRC (a flipped byte).  Defined here — not in ``executors`` — so the
+    exception pickles cleanly across the process-pool boundary; the
+    executor catches it, republishes the full snapshot, and retries the
+    round once before giving up.
+    """
+
+
+class StaleWorkerError(RuntimeError):
+    """A pool worker served a payload from a different executor epoch.
+
+    ``multiprocessing.Pool`` silently respawns workers that die, and a
+    respawned worker forks with whatever module globals are installed
+    *at respawn time* — which, with several executors alive (one per
+    search in a hierarchy), may be another executor's context.  Every
+    payload therefore carries its executor's epoch and workers refuse
+    mismatches instead of scoring against the wrong catalog.
+    """
 
 
 @dataclass(frozen=True)
@@ -272,6 +297,10 @@ _WORKER_CHANNEL = None
 #: snapshot this worker decoded.  One round publishes one sequence
 #: number, so every chunk of the round after the first is a cache hit.
 _WORKER_SNAPSHOT: Optional[tuple] = None
+#: The executor epoch the worker context was installed under (see
+#: :class:`StaleWorkerError`); payloads carry the dispatching
+#: executor's epoch and workers reject mismatches.
+_WORKER_EPOCH: int = 0
 #: Worker trace staging: ``(segment_dir, parent_epoch)`` installed
 #: before the pool forks (or None — tracing off).  Each forked worker
 #: lazily opens its own JSONL segment in ``segment_dir`` and emits
@@ -282,10 +311,17 @@ _WORKER_TRACE_SPEC: Optional[tuple] = None
 _WORKER_TRACER = None
 
 
-def install_worker_context(context: ScoreContext) -> None:
-    """Stage the context for forked workers (call before pool creation)."""
-    global _WORKER_CONTEXT
+def install_worker_context(context: ScoreContext, epoch: int = 0) -> None:
+    """Stage the context for forked workers (call before pool creation).
+
+    ``epoch`` identifies the installing executor; workers echo-check it
+    against each payload so a pool-respawned worker that forked under a
+    *different* executor's globals fails loudly instead of scoring
+    against the wrong context.
+    """
+    global _WORKER_CONTEXT, _WORKER_EPOCH
     _WORKER_CONTEXT = context
+    _WORKER_EPOCH = epoch
     _WORKER_MEMO.clear()
 
 
@@ -331,14 +367,30 @@ def _worker_tracer():
     return tracer
 
 
+def shm_payload_checksum(
+    caps: np.ndarray, hosts: np.ndarray, powered: np.ndarray
+) -> int:
+    """CRC-32 over the channel payload, in layout order.
+
+    Shared by the publisher (which stamps it into the channel's CRC
+    slot) and the workers (which verify their copy against the stamp).
+    """
+    crc = zlib.crc32(caps.tobytes())
+    crc = zlib.crc32(hosts.tobytes(), crc)
+    return zlib.crc32(powered.tobytes(), crc)
+
+
 def _shared_configuration(seq: int) -> Configuration:
-    """Decode the parent configuration published under ``seq``.
+    """Decode and verify the parent configuration published under ``seq``.
 
     The executor guarantees publishes never overlap in-flight tasks
     (rounds that might race a straggler pickle the configuration
     instead), so the snapshot this worker reads is always the one the
-    payload's sequence number names; the check below is a tripwire, not
-    a synchronization mechanism.
+    payload's sequence number names; the checks below are integrity
+    tripwires, not a synchronization mechanism.  A mismatch — torn
+    sequence number or failed payload CRC — raises
+    :class:`ShmCorruptionError`, which the executor answers with a full
+    republish and one retry of the round.
     """
     global _WORKER_SNAPSHOT
     snapshot = _WORKER_SNAPSHOT
@@ -349,14 +401,20 @@ def _shared_configuration(seq: int) -> Configuration:
         raise RuntimeError("shared-memory payload but no channel installed")
     published = int(channel.seq_slot[0])
     if published != seq:
-        raise RuntimeError(
+        raise ShmCorruptionError(
             f"shared snapshot out of sync: payload seq {seq}, shm {published}"
         )
-    configuration = channel.codec.decode(
-        ConfigArray(
-            channel.hosts.copy(), channel.caps.copy(), channel.powered.copy()
+    caps = channel.caps.copy()
+    hosts = channel.hosts.copy()
+    powered = channel.powered.copy()
+    expected = int(channel.crc_slot[0])
+    actual = shm_payload_checksum(caps, hosts, powered)
+    if actual != expected:
+        raise ShmCorruptionError(
+            f"shared snapshot seq {seq} failed its checksum: "
+            f"crc {actual:#010x} != published {expected:#010x}"
         )
-    )
+    configuration = channel.codec.decode(ConfigArray(hosts, caps, powered))
     _WORKER_SNAPSHOT = (seq, configuration)
     return configuration
 
@@ -369,9 +427,18 @@ def _payload_configuration(configuration) -> Configuration:
     return configuration
 
 
+def _check_worker_epoch(epoch: int) -> None:
+    if epoch != _WORKER_EPOCH:
+        raise StaleWorkerError(
+            f"worker forked under executor epoch {_WORKER_EPOCH}, "
+            f"payload from epoch {epoch}"
+        )
+
+
 def _process_score_chunk(payload: tuple) -> list[ScoredAction]:
     """Pool task: score one chunk of a round in a forked worker."""
-    configuration, actions, workloads, wkey = payload
+    configuration, actions, workloads, wkey, epoch = payload
+    _check_worker_epoch(epoch)
     assert _WORKER_CONTEXT is not None, "worker context never installed"
     tracer = _worker_tracer() if _WORKER_TRACE_SPEC is not None else None
     if tracer is not None:
@@ -396,7 +463,8 @@ def _process_score_chunk(payload: tuple) -> list[ScoredAction]:
 
 def _process_predict_chunk(payload: tuple) -> list[PredictedCost]:
     """Pool task: predict one chunk of survivor actions."""
-    configuration, actions, workloads, wkey = payload
+    configuration, actions, workloads, wkey, epoch = payload
+    _check_worker_epoch(epoch)
     assert _WORKER_CONTEXT is not None, "worker context never installed"
     tracer = _worker_tracer() if _WORKER_TRACE_SPEC is not None else None
     if tracer is not None:

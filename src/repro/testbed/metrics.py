@@ -121,6 +121,11 @@ class RunMetrics:
     #: Injected-fault tally (``repro.faults.FaultStats``) when the run
     #: was fault-injected; ``None`` for ordinary runs.
     fault_stats: Optional[object] = None
+    #: Post-decision invariant violations
+    #: (``repro.faults.InvariantViolation``) found by the chaos
+    #: referee; empty unless the run executed with ``invariants=True``
+    #: — and empty even then unless the hardening failed.
+    invariant_violations: list = field(default_factory=list)
     #: The configuration deployed when the horizon ended.
     final_configuration: Optional[object] = None
 

@@ -34,6 +34,7 @@ from repro.faults import (
     FaultConfig,
     FaultInjector,
     RecoveryPolicy,
+    check_invariants,
 )
 from repro.costmodel.measurement import MeasurementCampaign, run_campaign
 from repro.perfmodel.calibration import calibrate_parameters
@@ -269,6 +270,8 @@ class Testbed:
         parallel: Optional[int] = None,
         checkpoint: Optional[object] = None,
         search_strategy: Optional[str] = None,
+        array_core: Optional[bool] = None,
+        invariants: bool = False,
     ) -> RunMetrics:
         """Run one strategy over the horizon and collect metrics.
 
@@ -311,6 +314,26 @@ class Testbed:
         level down and restart it from the last pre-crash snapshot.
         Without ``checkpoint`` no snapshot is ever written and the run
         is bit-identical to the checkpoint-free testbed.
+
+        ``array_core`` forces the array evaluation core on or off for
+        every search the controller owns (``None`` keeps each search's
+        own setting / the environment default).
+
+        ``invariants`` turns on the chaos referee: after every
+        controller decision the committed configuration is re-checked
+        from first principles (:func:`repro.faults.check_invariants` —
+        allocation limits, replica-0 placement, Eq. 3 conservation,
+        codec round-trip) and any violations are collected on
+        ``RunMetrics.invariant_violations``.  The check only *reads*
+        the decision, so an invariant-checked run stays bit-identical
+        to an unchecked one.
+
+        When ``faults`` is given, the same injector also drives the
+        process-chaos surfaces: it is attached to every search
+        (worker kills, shm corruption, injected solver faults, walker
+        stalls — all inert at their default zero probabilities) and,
+        when ``checkpoint`` is given, to the store's
+        ``corruption_hook``.
         """
         settings = self.settings
         span = horizon if horizon is not None else settings.horizon
@@ -325,6 +348,11 @@ class Testbed:
             for search in _searches_of(controller):
                 search.settings = replace_params(
                     search.settings, strategy=search_strategy
+                )
+        if array_core is not None:
+            for search in _searches_of(controller):
+                search.settings = replace_params(
+                    search.settings, array_core=array_core
                 )
         store = None
         if checkpoint is not None:
@@ -343,6 +371,17 @@ class Testbed:
             )
             if hasattr(controller, "enable_resilience"):
                 controller.enable_resilience(resilience)
+            # Process-chaos surfaces: every search draws its worker
+            # kills / shm corruption / solver faults / walker stalls
+            # from the same seeded injector, and checkpoint writes may
+            # rot through the store's corruption hook.  All surfaces
+            # are draw-isolated — zero-probability knobs consume no
+            # randomness — so an injector with only e.g. host crashes
+            # configured perturbs nothing else.
+            for search in _searches_of(controller):
+                search.fault_injector = injector
+            if store is not None and hasattr(store, "corruption_hook"):
+                store.corruption_hook = injector.corrupt_checkpoint
         engine = SimulationEngine()
         run_streams = self.streams.fork(f"run:{strategy}")
         demand_rng = run_streams.stream("demand-noise")
@@ -603,6 +642,27 @@ class Testbed:
                             **provenance.to_attrs(),
                         }
                     )
+                if invariants:
+                    committed = getattr(
+                        decision.outcome, "final_configuration", None
+                    )
+                    if committed is not None:
+                        metrics.invariant_violations.extend(
+                            check_invariants(
+                                committed,
+                                self.catalog,
+                                self.limits,
+                                host_ids=self.host_ids,
+                                utility=(
+                                    provenance.utility
+                                    if provenance is not None
+                                    else None
+                                ),
+                                context=(
+                                    f"{decision.controller}@t={now:g}"
+                                ),
+                            )
+                        )
             if not decisions or cluster.is_adapting():
                 return
             actions = []

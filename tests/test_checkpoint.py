@@ -126,6 +126,122 @@ def test_save_overwrites_atomically(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# store: generation ring, quarantine, rollback
+# ---------------------------------------------------------------------------
+
+
+def test_store_keep_validated(tmp_path):
+    with pytest.raises(ValueError, match="keep"):
+        CheckpointStore(tmp_path / "snap.json", keep=0)
+    assert CheckpointStore(tmp_path / "snap.json", keep=2).keep == 2
+
+
+def test_ring_retains_bounded_generations(tmp_path):
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path, keep=3)
+    for generation in range(1, 6):
+        store.save({"schema": 1, "generation": generation})
+    rings = store.generations()
+    assert [os.path.basename(p) for p in rings] == [
+        "snap.json.g000003",
+        "snap.json.g000004",
+        "snap.json.g000005",
+    ]
+    # The head is a hard link to the newest generation — same bytes.
+    assert store.load()["generation"] == 5
+    assert os.path.samefile(path, rings[-1])
+    # Pruned generations are really gone.
+    assert not os.path.exists(str(path) + ".g000001")
+    assert not os.path.exists(str(path) + ".g000002")
+
+
+def test_failed_save_never_touches_previous_generation(tmp_path):
+    """Verify-before-commit: the previous good generation survives a
+    failing save byte for byte (it is never deleted or replaced until
+    its successor is durably on disk and proven readable)."""
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path, keep=2)
+    store.save({"schema": 1, "good": True})
+    (generation_path,) = store.generations()
+    before = open(generation_path, encoding="utf-8").read()
+    with pytest.raises(TypeError):
+        store.save({"schema": 1, "bad": object()})
+    assert store.generations() == [generation_path]
+    assert open(generation_path, encoding="utf-8").read() == before
+    assert store.load() == {"schema": 1, "good": True}
+
+
+def test_corruption_hook_rot_is_quarantined_and_rolled_back(tmp_path):
+    """Post-write rot on the newest snapshot: ``load`` quarantines the
+    corrupt files (head and its hard-linked generation), rolls back to
+    the previous generation, and repairs the head link."""
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path, keep=3)
+    store.save({"schema": 1, "generation": 1})
+    store.corruption_hook = lambda text: "X" + text[1:]
+    store.save({"schema": 1, "generation": 2})
+
+    assert store.load() == {"schema": 1, "generation": 1}
+    quarantined = [os.path.basename(p) for p in store.quarantined()]
+    assert "snap.json.g000002.quarantine" in quarantined
+    # The head link was repaired to the recovered generation, so the
+    # next load is a straight read — no rollback pass.
+    assert os.path.samefile(path, str(path) + ".g000001")
+    assert store.load() == {"schema": 1, "generation": 1}
+
+    # Quarantined numbers are never reused: the lineage continues past
+    # the rotted generation, and the evidence stays on disk.
+    store.corruption_hook = None
+    store.save({"schema": 1, "generation": 3})
+    assert os.path.basename(store.generations()[-1]) == "snap.json.g000003"
+    assert store.load() == {"schema": 1, "generation": 3}
+    assert "snap.json.g000002.quarantine" in [
+        os.path.basename(p) for p in store.quarantined()
+    ]
+
+
+def test_load_recovers_when_head_is_deleted(tmp_path):
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path)
+    store.save({"schema": 1, "value": 7})
+    os.unlink(path)
+    assert store.load() == {"schema": 1, "value": 7}
+    # Recovery re-links the head for the next reader.
+    assert os.path.exists(path)
+
+
+def test_load_refuses_when_every_generation_is_rotten(tmp_path):
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path, keep=2)
+    store.corruption_hook = lambda text: "X" + text[1:]
+    store.save({"schema": 1, "generation": 1})
+    store.save({"schema": 1, "generation": 2})
+    with pytest.raises(CheckpointError, match="not valid JSON"):
+        store.load()
+    assert store.generations() == []
+    assert len(store.quarantined()) >= 2
+
+
+def test_ring_telemetry_counts_saves_quarantines_rollbacks(tmp_path):
+    from repro import telemetry
+
+    path = tmp_path / "snap.json"
+    store = CheckpointStore(path, keep=3)
+    telemetry.enable()
+    try:
+        store.save({"schema": 1, "generation": 1})
+        store.corruption_hook = lambda text: "X" + text[1:]
+        store.save({"schema": 1, "generation": 2})
+        assert store.load() == {"schema": 1, "generation": 1}
+        counters = telemetry.runtime.registry.snapshot()["counters"]
+    finally:
+        telemetry.disable()
+    assert counters.get("checkpoint.saves") == 2
+    assert counters.get("checkpoint.quarantines", 0) >= 1
+    assert counters.get("checkpoint.rollbacks") == 1
+
+
+# ---------------------------------------------------------------------------
 # snapshot validation: all-or-nothing restore
 # ---------------------------------------------------------------------------
 

@@ -136,14 +136,51 @@ class _BrokenExecutor:
         self.closed = True
 
 
-def test_executor_crash_falls_back_to_serial(small_testbed):
-    """A dying pool degrades to inline scoring mid-search: the outcome
-    still matches the legacy loop bit for bit, the broken pool is
-    closed, the fallback is pinned, and the resilience hook fires."""
+def test_executor_crash_respawns_pool_before_demoting(small_testbed):
+    """A dying pool is respawned (bounded, backed off) before any
+    demotion: the outcome still matches the legacy loop bit for bit,
+    the broken pool is closed, the respawn hook fires, and no
+    permanent serial pin happens while attempts remain."""
     (reference,) = _outcomes(_make_search(small_testbed), small_testbed, 1)
 
     search = _make_search(
-        small_testbed, parallel_workers=2, parallel_executor="thread"
+        small_testbed,
+        parallel_workers=2,
+        parallel_executor="thread",
+        executor_respawn_backoff_seconds=0.0,
+    )
+    broken = _BrokenExecutor()
+    search._executor = broken
+    search._executor_key = ("thread", 2)
+    hook_calls: list[str] = []
+    search.on_executor_failure = hook_calls.append
+
+    (outcome,) = _outcomes(search, small_testbed, 1)
+    _assert_outcomes_identical(reference, outcome)
+    assert broken.closed
+    # One crash, one respawn, no demotion: the replacement pool (a
+    # healthy ThreadExecutor) finished the round.
+    assert not search._parallel_failed
+    assert search._respawn_attempts == 1
+    assert hook_calls == ["worker_respawn"]
+
+    # Later searches still use the (respawned) pool kind.
+    (again,) = _outcomes(search, small_testbed, 1)
+    _assert_outcomes_identical(reference, again)
+    assert not search._parallel_failed
+
+
+def test_executor_crash_demotes_after_respawn_budget(small_testbed):
+    """With the respawn budget exhausted (limit 0) a dying pool pins
+    the search to the inline path permanently — the pre-respawn
+    fallback contract survives as the last rung."""
+    (reference,) = _outcomes(_make_search(small_testbed), small_testbed, 1)
+
+    search = _make_search(
+        small_testbed,
+        parallel_workers=2,
+        parallel_executor="thread",
+        executor_respawn_limit=0,
     )
     broken = _BrokenExecutor()
     search._executor = broken

@@ -314,6 +314,85 @@ def test_walker_emits_strategy_telemetry(name, small_testbed):
         telemetry.disable()
 
 
+# -- chaos: injected stalls and the watchdog -----------------------------------
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_stall_trips_watchdog_but_returns_incumbent(
+    name, small_testbed
+):
+    """An injected stall longer than the deadline aborts the walker on
+    the very next cooperative check — the outcome is stamped
+    ``deadline_aborted``, still carries the walker's name, and the
+    incumbent plan replays cleanly (the anytime guarantee survives
+    chaos)."""
+    from repro.faults import FaultConfig, FaultInjector
+
+    search = _make_search(
+        small_testbed, strategy=name, deadline_seconds=0.3
+    )
+    search.fault_injector = FaultInjector(
+        FaultConfig(
+            seed=4,
+            strategy_stall_probability=1.0,
+            strategy_stall_seconds=0.6,
+        )
+    )
+    outcome = _run(search, small_testbed)
+    assert outcome.deadline_aborted
+    assert outcome.strategy == name
+    assert search.fault_injector.stats.strategy_stalls >= 1
+    # The incumbent is a feasible, replayable plan (possibly the
+    # explicit no-op) — never a torn partial result.
+    configuration = initial_configuration(small_testbed)
+    for action in outcome.actions:
+        configuration = action.apply(
+            configuration, small_testbed.catalog, small_testbed.limits
+        )
+    assert configuration == outcome.final_configuration
+
+
+def test_watchdog_abort_steps_controller_ladder_down(small_testbed):
+    """A stall-induced watchdog abort is a resilience fault: the
+    controller tallies it, feeds the degradation ladder, and the pruned
+    rung it lands on pins the next search back to the exact A*."""
+    from repro.core.controller import MistralController
+    from repro.faults import DegradationSettings, FaultConfig, FaultInjector
+    from repro.workload.monitor import WorkloadMonitor
+
+    search = _make_search(
+        small_testbed, strategy="mcts", deadline_seconds=0.3
+    )
+    search.fault_injector = FaultInjector(
+        FaultConfig(
+            seed=4,
+            strategy_stall_probability=1.0,
+            strategy_stall_seconds=0.6,
+        )
+    )
+    controller = MistralController(
+        name="chaos-L1",
+        search=search,
+        monitor=WorkloadMonitor(band_width=8.0),
+    )
+    controller.enable_resilience(DegradationSettings(escalate_after=1))
+    try:
+        decision = controller.on_sample(
+            0.0,
+            _high_workloads(small_testbed),
+            initial_configuration(small_testbed),
+        )
+    finally:
+        search.close_executor()
+    assert decision is not None
+    assert decision.outcome.deadline_aborted
+    assert controller.stats.watchdog_aborts == 1
+    assert controller.resilience.level == "pruned"
+    pruned = controller._search_settings_for_level("pruned")
+    assert pruned.strategy == "astar"
+    assert pruned.self_aware
+
+
 def test_walker_settings_validated():
     with pytest.raises(ValueError):
         SearchSettings(mcts_iterations=0)
